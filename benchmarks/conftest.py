@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one experiment from DESIGN.md / EXPERIMENTS.md:
+it runs the experiment once inside ``benchmark.pedantic`` (so pytest-benchmark
+reports the wall-clock cost of regenerating it), prints the table or series
+the experiment produces, and asserts the qualitative shape the paper implies
+(exact numbers for the worked examples, bound satisfaction and who-wins
+orderings for the simulation studies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument callable exactly once under pytest-benchmark."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report section that survives pytest's output capture."""
+
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n===== {title} =====")
+            print(body)
+
+    return _print

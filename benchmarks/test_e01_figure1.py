@@ -1,0 +1,58 @@
+"""E1 — Figure 1 worked example.
+
+Regenerates the costs the paper states for the Figure 1 instance: the
+tabulated feasible schedule costs 9 (packet p5 over the fixed link), the
+optimal schedule costs 7 (p5 over edge (t3, r4) in the third slot), and the
+paper's online algorithm ALG attains the optimal cost 7 on this instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+from repro.analysis import solve_lp_lower_bound
+from repro.baselines import brute_force_optimal
+from repro.core import OpportunisticLinkScheduler
+from repro.simulation import simulate
+from repro.utils.tables import format_table
+from repro.workloads import figure1_instance, figure1_reported_costs
+
+
+def regenerate_figure1():
+    instance = figure1_instance()
+    alg = simulate(instance.topology, OpportunisticLinkScheduler(), instance.packets)
+    optimum = brute_force_optimal(instance)
+    lp = solve_lp_lower_bound(instance, capacity=1.0)
+    packets = {p.packet_id: p for p in instance.packets}
+    paper_feasible = (
+        sum(packets[pid].weight * latency for pid, latency in {0: 1, 1: 2, 2: 1, 3: 1}.items())
+        + packets[4].weight * instance.topology.fixed_link_delay("s2", "d3")
+    )
+    return {
+        "paper_feasible": paper_feasible,
+        "optimal": optimum.cost,
+        "lp": lp.objective_value,
+        "alg": alg.total_weighted_latency,
+    }
+
+
+def test_e01_figure1_costs(benchmark, run_once, report):
+    values = run_once(regenerate_figure1)
+    expected = figure1_reported_costs()
+    report(
+        "E1: Figure 1 worked example",
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["feasible schedule (p5 on fixed link)", expected["feasible_solution"], values["paper_feasible"]],
+                ["optimal schedule", expected["optimal_solution"], values["optimal"]],
+                ["LP relaxation (Figure 3, capacity 1)", "<= 7", values["lp"]],
+                ["ALG (this paper, speed 1)", "n/a", values["alg"]],
+            ],
+        ),
+    )
+    assert values["paper_feasible"] == pytest.approx(9.0)
+    assert values["optimal"] == pytest.approx(7.0)
+    assert values["lp"] == pytest.approx(7.0, abs=1e-6)
+    assert values["alg"] == pytest.approx(7.0)

@@ -1,0 +1,44 @@
+"""E2 — Figure 2 dispatcher-impact example.
+
+Regenerates the per-packet impact tables of Figure 2: (1, 2, 5) for the
+packet set Π and (1, 3, 3, 7) for Π′, by running ALG and applying the
+Section IV-C charging scheme.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+from repro.analysis import compute_charges
+from repro.core import OpportunisticLinkScheduler
+from repro.simulation import simulate
+from repro.utils.tables import format_table
+from repro.workloads import figure2_instances, figure2_reported_impacts
+
+
+def regenerate_figure2():
+    measured = {}
+    for key, instance in figure2_instances().items():
+        result = simulate(
+            instance.topology, OpportunisticLinkScheduler(), instance.packets, record_trace=True
+        )
+        charges = compute_charges(result)
+        measured[key] = {pid: charges.charge(pid) for pid in sorted(charges.charges)}
+    return measured
+
+
+def test_e02_figure2_impacts(benchmark, run_once, report):
+    measured = run_once(regenerate_figure2)
+    expected = figure2_reported_impacts()
+    rows = []
+    for key in ("pi", "pi_prime"):
+        for pid in sorted(expected[key]):
+            rows.append([key, f"p{pid + 1}", expected[key][pid], measured[key][pid]])
+    report(
+        "E2: Figure 2 realised impacts (charging scheme)",
+        format_table(["packet set", "packet", "paper", "measured"], rows),
+    )
+    for key in expected:
+        for pid, value in expected[key].items():
+            assert measured[key][pid] == pytest.approx(value)

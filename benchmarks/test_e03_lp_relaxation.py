@@ -1,0 +1,72 @@
+"""E3 — Figure 3 LP relaxation.
+
+Builds and solves the primal LP on the Figure 1 instance and on small random
+hybrid instances, for the unaugmented optimum (capacity 1) and the
+slowed-down optimum (capacity 1/(2+ε)), in both objective variants.  The LP
+value must lower-bound the brute-force integral optimum and increase as the
+capacity shrinks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import solve_lp_lower_bound
+from repro.baselines import brute_force_optimal
+from repro.experiments import small_lp_instances
+from repro.utils.tables import format_table
+from repro.workloads import figure1_instance
+
+
+def regenerate_lp_study():
+    rows = []
+    fig1 = figure1_instance()
+    for capacity, label in ((1.0, "1"), (1.0 / 3.0, "1/(2+ε), ε=1")):
+        for objective in ("paper", "fractional"):
+            solution = solve_lp_lower_bound(fig1, capacity=capacity, objective=objective)
+            rows.append(
+                [
+                    "figure1",
+                    label,
+                    objective,
+                    solution.objective_value,
+                    solution.num_variables,
+                    solution.num_constraints,
+                ]
+            )
+    instances = small_lp_instances(num_instances=2, num_packets=8, seed=7)
+    for instance in instances.values():
+        for objective in ("paper", "fractional"):
+            solution = solve_lp_lower_bound(instance, capacity=1.0, objective=objective)
+            rows.append(
+                [
+                    instance.name,
+                    "1",
+                    objective,
+                    solution.objective_value,
+                    solution.num_variables,
+                    solution.num_constraints,
+                ]
+            )
+    fig1_opt = brute_force_optimal(fig1).cost
+    return rows, fig1_opt
+
+
+def test_e03_lp_relaxation(benchmark, run_once, report):
+    rows, fig1_opt = run_once(regenerate_lp_study)
+    report(
+        "E3: Figure 3 LP relaxation (lower bounds on OPT)",
+        format_table(["instance", "capacity", "objective", "LP value", "vars", "constraints"], rows),
+    )
+    fig1_rows = [r for r in rows if r[0] == "figure1"]
+    cap1 = [r for r in fig1_rows if r[1] == "1"]
+    slowed = [r for r in fig1_rows if r[1] != "1"]
+    # The LP never exceeds the integral optimum, and shrinking the capacity
+    # can only increase its value.
+    assert all(r[3] <= fig1_opt + 1e-6 for r in cap1)
+    assert min(r[3] for r in slowed) >= max(r[3] for r in cap1) - 1e-6
+    # The paper objective dominates the fractional objective on every instance.
+    by_key = {(r[0], r[1], r[2]): r[3] for r in rows}
+    for (name, cap, obj), value in by_key.items():
+        if obj == "fractional":
+            assert by_key[(name, cap, "paper")] >= value - 1e-6

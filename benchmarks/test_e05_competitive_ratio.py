@@ -1,0 +1,50 @@
+"""E5 — Theorem 1: empirical competitive ratio versus the 2·(2/ε+1) bound.
+
+For each ε, ALG (at speed 1) is compared against the LP lower bound on an
+optimum restricted to capacity 1/(2+ε) — the paper's resource-augmentation
+model.  The measured ratio must stay below the Theorem 1 bound for every ε
+and every instance, and the bound itself shrinks as ε grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import competitive_ratio_sweep, small_lp_instances
+from repro.utils.tables import format_table
+
+
+EPSILONS = (0.5, 1.0, 2.0, 4.0)
+
+
+def regenerate_ratio_sweep():
+    instances = small_lp_instances(num_instances=3, num_packets=10, seed=19)
+    return competitive_ratio_sweep(instances, epsilons=EPSILONS, use_lp=True)
+
+
+def test_e05_competitive_ratio(benchmark, run_once, report):
+    rows = run_once(regenerate_ratio_sweep)
+    report(
+        "E5: Theorem 1 — empirical competitive ratio vs 2*(2/eps+1)",
+        format_table(
+            ["instance", "epsilon", "ALG cost", "lower bound", "ratio", "bound", "within"],
+            [
+                [
+                    r.instance,
+                    r.epsilon,
+                    r.algorithm_cost,
+                    r.lower_bound,
+                    r.empirical_ratio,
+                    r.theoretical_bound,
+                    r.within_bound,
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    assert all(r.within_bound for r in rows)
+    assert all(r.empirical_ratio <= r.theoretical_bound for r in rows)
+    # The theoretical bound is decreasing in epsilon.
+    by_eps = sorted({r.epsilon for r in rows})
+    bounds = [next(r.theoretical_bound for r in rows if r.epsilon == e) for e in by_eps]
+    assert bounds == sorted(bounds, reverse=True)

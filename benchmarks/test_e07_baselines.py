@@ -1,0 +1,56 @@
+"""E7 — ALG versus online baselines on the datacenter workload suite.
+
+Runs the paper's algorithm, the classic comparators (FIFO, iSLIP, MaxWeight,
+random, queue-oblivious shortest path) and the two single-component ablations
+on the ProjecToR-style workload suite (uniform, Zipf, elephant-mice, hotspot,
+bursty, incast).  Absolute numbers depend on the simulator, but the ordering
+— ALG at or near the front, never the worst — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ablation_policies, standard_baselines
+from repro.core import OpportunisticLinkScheduler
+from repro.experiments import (
+    compare_policies_on_suite,
+    format_comparison_table,
+    standard_projector_instances,
+)
+
+
+def regenerate_baseline_comparison():
+    instances = standard_projector_instances(num_racks=6, lasers_per_rack=2, num_packets=150, seed=2021)
+    policies = {
+        "alg": OpportunisticLinkScheduler(),
+        **standard_baselines(seed=0),
+        **ablation_policies(),
+    }
+    return compare_policies_on_suite(instances, policies)
+
+
+def test_e07_baseline_comparison(benchmark, run_once, report):
+    rows = run_once(regenerate_baseline_comparison)
+    report("E7: ALG vs baselines (total weighted latency, lower is better)",
+           format_comparison_table(rows))
+
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row.instance, []).append(row)
+    for instance, instance_rows in by_instance.items():
+        ordered = sorted(instance_rows, key=lambda r: r.total_weighted_latency)
+        names = [r.policy for r in ordered]
+        # ALG is never the worst policy, and on every instance its cost is
+        # within 10% of the best policy observed.
+        assert names.index("alg") < len(names) - 1, instance
+        best = ordered[0].total_weighted_latency
+        alg_cost = next(r.total_weighted_latency for r in instance_rows if r.policy == "alg")
+        assert alg_cost <= 1.10 * best + 1e-9, (instance, alg_cost, best)
+
+    # On the skewed workloads (the paper's motivating scenario) ALG beats the
+    # weight-oblivious FIFO and random policies outright.
+    for skewed in ("zipf", "elephant-mice", "hotspot"):
+        instance_rows = {r.policy: r.total_weighted_latency for r in by_instance[skewed]}
+        assert instance_rows["alg"] <= instance_rows["fifo"] + 1e-9
+        assert instance_rows["alg"] <= instance_rows["random"] + 1e-9

@@ -1,0 +1,43 @@
+"""E9 — hybrid topologies (fixed + reconfigurable links).
+
+Sweeps the delay of the static source→destination links of a hybrid
+ProjecToR fabric.  With fast fixed links the impact dispatcher offloads most
+packets to the static network; as the fixed links slow down the traffic moves
+onto the opportunistic links.  This is the behaviour the dispatcher's
+``w_p·d_l(p) ≤ Δ_p(e)`` rule encodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import hybrid_fixed_link_sweep
+from repro.utils.tables import format_table
+
+
+DELAYS = (1, 2, 4, 8, 16)
+
+
+def regenerate_hybrid_sweep():
+    return hybrid_fixed_link_sweep(fixed_link_delays=DELAYS, num_racks=6, num_packets=150, seed=37)
+
+
+def test_e09_hybrid_topologies(benchmark, run_once, report):
+    rows = run_once(regenerate_hybrid_sweep)
+    report(
+        "E9: hybrid fabric — traffic split vs fixed-link delay",
+        format_table(
+            ["fixed-link delay", "total weighted latency", "fixed-link fraction", "reconfigurable fraction"],
+            [
+                [r.fixed_link_delay, r.total_weighted_latency, r.fixed_link_fraction, r.reconfigurable_fraction]
+                for r in rows
+            ],
+        ),
+    )
+    fractions = [r.fixed_link_fraction for r in rows]
+    # Offload to the static network shrinks (weakly) as its links get slower,
+    # and spans the full range: almost everything on delay-1 links, almost
+    # nothing on delay-16 links.
+    assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    assert fractions[0] > 0.8
+    assert fractions[-1] < 0.2

@@ -1,0 +1,40 @@
+"""E10 — the value of the second tier (multiple lasers per rack).
+
+With one laser/photodetector per rack the model collapses to the classic
+single-tier switch-scheduling setting; adding opportunistic links per rack is
+exactly what the two-tier model of this paper enables.  The experiment varies
+the per-rack laser count under skewed traffic and reports ALG's cost and the
+mean per-slot matching size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import two_tier_sweep
+from repro.utils.tables import format_table
+
+
+LASERS = (1, 2, 3, 4)
+
+
+def regenerate_tier_sweep():
+    return two_tier_sweep(lasers_per_rack=LASERS, num_racks=6, num_packets=150, seed=41)
+
+
+def test_e10_two_tier_vs_single_tier(benchmark, run_once, report):
+    rows = run_once(regenerate_tier_sweep)
+    report(
+        "E10: lasers per rack vs ALG cost (skewed traffic)",
+        format_table(
+            ["lasers/rack", "total weighted latency", "mean matching size", "slots"],
+            [[r.lasers_per_rack, r.total_weighted_latency, r.mean_matching_size, r.num_slots] for r in rows],
+        ),
+    )
+    costs = [r.total_weighted_latency for r in rows]
+    # More opportunistic links never hurt, and going from 1 to 4 lasers per
+    # rack yields a clear improvement on skewed traffic.
+    assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+    assert costs[-1] < costs[0]
+    # The schedule finishes no later with more links available.
+    assert rows[-1].num_slots <= rows[0].num_slots

@@ -1,0 +1,38 @@
+"""E11 — simulator and algorithm scalability.
+
+Engineering benchmark: wall-clock cost of running ALG on growing ProjecToR
+fabrics and packet counts, plus the per-slot scheduling throughput.  This is
+the benchmark to watch when optimising the engine; the assertions only check
+that the runs complete and deliver everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OpportunisticLinkScheduler
+from repro.network import projector_fabric
+from repro.simulation import simulate
+from repro.workloads import uniform_weights, zipf_workload
+
+
+def _run(num_racks: int, num_packets: int, seed: int = 51):
+    topo = projector_fabric(num_racks=num_racks, lasers_per_rack=2, photodetectors_per_rack=2, seed=seed)
+    packets = zipf_workload(
+        topo, num_packets, exponent=1.2, weight_sampler=uniform_weights(1, 10),
+        arrival_rate=max(2.0, num_racks / 2.0), seed=seed + 1,
+    )
+    return simulate(topo, OpportunisticLinkScheduler(), packets)
+
+
+@pytest.mark.parametrize(
+    "num_racks,num_packets",
+    [(4, 200), (8, 400), (12, 800), (16, 1200)],
+    ids=["4racks-200pkts", "8racks-400pkts", "12racks-800pkts", "16racks-1200pkts"],
+)
+def test_e11_scalability(benchmark, num_racks, num_packets):
+    result = benchmark.pedantic(
+        _run, args=(num_racks, num_packets), rounds=1, iterations=1
+    )
+    assert result.all_delivered
+    assert len(result) == num_packets

@@ -1,0 +1,45 @@
+"""Hybrid topologies: when does traffic stay on the static network?
+
+The dispatcher sends a packet over the direct (static) source→destination
+link whenever the fixed-link latency ``w_p · d_l(p)`` does not exceed the
+worst-case impact of the best opportunistic edge.  This example sweeps the
+fixed-link delay of a hybrid ProjecToR fabric and shows how the traffic split
+and the total weighted latency respond — the quantitative version of the
+paper's claim that the model "also applies to hybrid topologies".
+
+Run with:  python examples/hybrid_offload.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import hybrid_fixed_link_sweep
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rows = hybrid_fixed_link_sweep(
+        fixed_link_delays=(1, 2, 3, 4, 6, 8, 12, 16),
+        num_racks=6,
+        num_packets=150,
+        seed=37,
+    )
+    print(
+        format_table(
+            ["fixed-link delay", "total weighted latency", "share on fixed links", "share on opportunistic links"],
+            [
+                [r.fixed_link_delay, r.total_weighted_latency, r.fixed_link_fraction, r.reconfigurable_fraction]
+                for r in rows
+            ],
+            title="ALG on a hybrid fabric (Zipf traffic, 6 racks)",
+        )
+    )
+    print(
+        "\nFast static links absorb almost all traffic; once their delay exceeds the\n"
+        "typical queueing-adjusted impact of an opportunistic edge, the dispatcher\n"
+        "moves the traffic onto the reconfigurable network and the total latency\n"
+        "saturates at the reconfigurable-only level."
+    )
+
+
+if __name__ == "__main__":
+    main()

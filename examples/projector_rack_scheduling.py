@@ -1,0 +1,48 @@
+"""Compare the paper's algorithm against classic schedulers on rack-to-rack traffic.
+
+This is the scenario the paper's introduction motivates: a reconfigurable
+datacenter fabric carrying skewed, bursty rack-to-rack traffic where a few
+elephant flows dominate.  The example runs ALG, the classic comparators
+(FIFO, iSLIP, per-slot maximum-weight matching, random) and the two
+single-component ablations on three workloads and prints the resulting
+total-weighted-latency table, normalised to ALG.
+
+Run with:  python examples/projector_rack_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ablation_policies, standard_baselines
+from repro.core import OpportunisticLinkScheduler
+from repro.experiments import (
+    compare_policies_on_suite,
+    format_comparison_table,
+    standard_projector_instances,
+)
+
+
+def main() -> None:
+    instances = standard_projector_instances(
+        num_racks=6, lasers_per_rack=2, num_packets=120, seed=2021
+    )
+    # Keep the three workloads that stress the scheduler the most.
+    selected = {name: instances[name] for name in ("zipf", "elephant-mice", "incast")}
+
+    policies = {
+        "alg": OpportunisticLinkScheduler(),
+        **standard_baselines(seed=0),
+        **ablation_policies(),
+    }
+
+    rows = compare_policies_on_suite(selected, policies)
+    print(format_comparison_table(rows, title="Total weighted latency (lower is better)"))
+
+    print("\nReading the table:")
+    print(" * ratio_to_alg > 1 means the policy is worse than the paper's algorithm;")
+    print(" * 'impact+fifo' keeps the paper's dispatcher but drops the stable matching;")
+    print(" * 'least-loaded+stable' keeps the stable matching but drops the dispatcher;")
+    print("   comparing the two shows how much each component contributes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (legacy ``pip install -e .`` / ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of *Scheduling Opportunistic Links in Two-Tiered
+Reconfigurable Datacenters* (Kulkarni, Schmid, Schmidt; SPAA 2021).
+
+The package provides:
+
+* :mod:`repro.network` — the two-tier hybrid topology model (Section II);
+* :mod:`repro.core` — the online algorithm ALG: worst-case-impact dispatcher
+  plus greedy stable-matching scheduler (Section III);
+* :mod:`repro.simulation` — a slot-level simulation engine with the paper's
+  weighted fractional-latency objective;
+* :mod:`repro.workloads` — synthetic datacenter workloads and the paper's
+  worked examples (Figures 1–2);
+* :mod:`repro.baselines` — online comparators and offline optima;
+* :mod:`repro.analysis` — the LP relaxation, dual fitting and
+  competitive-ratio machinery (Figures 3–4, Lemmas 1–5, Theorem 1);
+* :mod:`repro.experiments` — the experiment harness behind the benchmarks.
+
+Quickstart
+----------
+>>> from repro import OpportunisticLinkScheduler, simulate
+>>> from repro.network import projector_fabric
+>>> from repro.workloads import zipf_workload
+>>> topo = projector_fabric(num_racks=4)
+>>> packets = zipf_workload(topo, num_packets=50, seed=1)
+>>> result = simulate(topo, OpportunisticLinkScheduler(), packets)
+>>> result.all_delivered
+True
+"""
+
+from repro.core.algorithm import (
+    OpportunisticLinkScheduler,
+    make_paper_policy,
+    theoretical_competitive_ratio,
+)
+from repro.core.interfaces import Dispatcher, Policy, Scheduler
+from repro.core.packet import Packet
+from repro.network.topology import TwoTierTopology
+from repro.simulation.engine import EngineConfig, SimulationEngine, simulate
+from repro.simulation.results import SimulationResult
+from repro.workloads.base import Instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Packet",
+    "TwoTierTopology",
+    "Instance",
+    "Policy",
+    "Dispatcher",
+    "Scheduler",
+    "OpportunisticLinkScheduler",
+    "make_paper_policy",
+    "theoretical_competitive_ratio",
+    "SimulationEngine",
+    "EngineConfig",
+    "SimulationResult",
+    "simulate",
+]

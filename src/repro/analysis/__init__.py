@@ -1,0 +1,51 @@
+"""LP relaxation, dual fitting and competitive-ratio analysis (Figures 3–4, Lemmas 1–5)."""
+
+from repro.analysis.charging import ChargingBreakdown, compute_charges
+from repro.analysis.competitive import (
+    CompetitiveRatioReport,
+    dual_lower_bound,
+    evaluate_competitive_ratio,
+)
+from repro.analysis.dual import DualSolution, build_dual_solution
+from repro.analysis.dual_fitting import (
+    ConstraintViolation,
+    DualFittingCertificate,
+    Lemma1Report,
+    Lemma2Report,
+    attach_decision_log,
+    check_dual_feasibility,
+    check_lemma1,
+    check_lemma2,
+    check_lemma4,
+    verify_certificate,
+)
+from repro.analysis.lp import (
+    LPSolution,
+    PrimalLP,
+    build_primal_lp,
+    solve_lp_lower_bound,
+)
+
+__all__ = [
+    "ChargingBreakdown",
+    "compute_charges",
+    "DualSolution",
+    "build_dual_solution",
+    "ConstraintViolation",
+    "DualFittingCertificate",
+    "Lemma1Report",
+    "Lemma2Report",
+    "attach_decision_log",
+    "check_dual_feasibility",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma4",
+    "verify_certificate",
+    "LPSolution",
+    "PrimalLP",
+    "build_primal_lp",
+    "solve_lp_lower_bound",
+    "CompetitiveRatioReport",
+    "dual_lower_bound",
+    "evaluate_competitive_ratio",
+]

@@ -1,0 +1,310 @@
+"""Numerical verification of the dual-fitting analysis (Lemmas 1–5, Theorem 1).
+
+The paper's competitive analysis rests on a handful of structural facts about
+any run of ALG.  This module checks every one of them *numerically* on a
+concrete run, producing a :class:`DualFittingCertificate`:
+
+* **Lemma 1** — the ``β`` variables summed over transmitters (equivalently,
+  receivers) equal the weighted latency of the packets routed over the
+  reconfigurable network, which is at most ALG's total cost.
+* **Lemma 2** — the charging scheme assigns every packet at most ``α_p``.
+* **Lemma 4** — for every packet ``p``, candidate edge ``e`` and slot ``τ``:
+  ``Δ_p(e) − d(e)(β_{t,τ}+β_{r,τ}) ≤ 2·w_p·(τ + d_hat(e) − a_p)``.
+* **Lemma 5** — the halved dual solution is feasible for the dual LP of
+  Figure 4.
+* **Lemma 3 / Theorem 1** — ``ALG ≤ (2+ε)/ε · D`` and, consequently,
+  ``ALG ≤ 2·(2/ε + 1) · OPT`` where OPT is lower-bounded by the LP optimum
+  with capacity ``1/(2+ε)`` (or by the feasible dual value).
+
+These checks back the property-based tests and the E4 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.charging import compute_charges
+from repro.analysis.dual import DualSolution, build_dual_solution
+from repro.core.dispatcher import EdgeImpact, ImpactDispatcher
+from repro.exceptions import AnalysisError
+from repro.network.topology import TwoTierTopology
+from repro.simulation.results import SimulationResult
+
+__all__ = [
+    "ConstraintViolation",
+    "Lemma1Report",
+    "Lemma2Report",
+    "DualFittingCertificate",
+    "check_lemma1",
+    "check_lemma2",
+    "check_lemma4",
+    "check_dual_feasibility",
+    "verify_certificate",
+    "attach_decision_log",
+]
+
+_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """A violated dual constraint (packet, edge, slot) with its slack."""
+
+    packet_id: int
+    edge: Optional[Tuple[str, str]]
+    slot: Optional[int]
+    lhs: float
+    rhs: float
+
+    @property
+    def violation(self) -> float:
+        """Positive amount by which the constraint is violated."""
+        return self.lhs - self.rhs
+
+
+@dataclass
+class Lemma1Report:
+    """Outcome of the Lemma 1 check."""
+
+    beta_transmitter_total: float
+    beta_receiver_total: float
+    reconfigurable_latency: float
+    algorithm_cost: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the equalities and the upper bound of Lemma 1 hold."""
+        return (
+            abs(self.beta_transmitter_total - self.reconfigurable_latency) <= _TOL
+            and abs(self.beta_receiver_total - self.reconfigurable_latency) <= _TOL
+            and self.algorithm_cost >= self.reconfigurable_latency - _TOL
+        )
+
+
+@dataclass
+class Lemma2Report:
+    """Outcome of the Lemma 2 (charging scheme) check."""
+
+    per_packet_slack: Dict[int, float]
+    total_charges: float
+    algorithm_cost: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether every packet is charged at most ``α_p`` and charges cover ALG."""
+        return (
+            all(slack >= -_TOL for slack in self.per_packet_slack.values())
+            and abs(self.total_charges - self.algorithm_cost) <= _TOL
+        )
+
+
+@dataclass
+class DualFittingCertificate:
+    """Aggregate result of every dual-fitting check on one ALG run."""
+
+    epsilon: float
+    algorithm_cost: float
+    dual_objective: float
+    feasible_dual_value: float
+    lemma1: Lemma1Report
+    lemma2: Optional[Lemma2Report]
+    lemma4_violations: List[ConstraintViolation] = field(default_factory=list)
+    dual_violations: List[ConstraintViolation] = field(default_factory=list)
+    lemma4_checked: bool = False
+
+    @property
+    def lemma3_bound(self) -> float:
+        """The Lemma 3 bound ``(2+ε)/ε · D`` on ALG's cost."""
+        return (2.0 + self.epsilon) / self.epsilon * self.dual_objective
+
+    @property
+    def theorem1_ratio_bound(self) -> float:
+        """The Theorem 1 competitive-ratio bound ``2·(2/ε + 1)``."""
+        return 2.0 * (2.0 / self.epsilon + 1.0)
+
+    @property
+    def valid(self) -> bool:
+        """Whether every performed check passed."""
+        checks = [
+            self.lemma1.holds,
+            not self.dual_violations,
+            self.algorithm_cost <= self.lemma3_bound + _TOL,
+        ]
+        if self.lemma2 is not None:
+            checks.append(self.lemma2.holds)
+        if self.lemma4_checked:
+            checks.append(not self.lemma4_violations)
+        return all(checks)
+
+
+# ---------------------------------------------------------------------- #
+# individual checks
+# ---------------------------------------------------------------------- #
+def check_lemma1(result: SimulationResult, dual: Optional[DualSolution] = None) -> Lemma1Report:
+    """Verify Lemma 1 on ``result``."""
+    dual = dual or build_dual_solution(result)
+    reconf_latency = sum(
+        rec.weighted_latency for rec in result if not rec.used_fixed_link
+    )
+    return Lemma1Report(
+        beta_transmitter_total=dual.total_beta_transmitter,
+        beta_receiver_total=dual.total_beta_receiver,
+        reconfigurable_latency=reconf_latency,
+        algorithm_cost=result.total_weighted_latency,
+    )
+
+
+def check_lemma2(result: SimulationResult) -> Lemma2Report:
+    """Verify Lemma 2 (per-packet charge ≤ α_p) on a traced speed-1 ALG run."""
+    breakdown = compute_charges(result)
+    slack = {
+        pid: result.records[pid].alpha - breakdown.charge(pid) for pid in result.records
+    }
+    return Lemma2Report(
+        per_packet_slack=slack,
+        total_charges=breakdown.total,
+        algorithm_cost=result.total_weighted_latency,
+    )
+
+
+def check_lemma4(
+    result: SimulationResult,
+    topology: TwoTierTopology,
+    dual: Optional[DualSolution] = None,
+    max_violations: int = 100,
+) -> List[ConstraintViolation]:
+    """Verify Lemma 4 for every recorded candidate-edge impact.
+
+    Requires the run to have used an :class:`ImpactDispatcher` with
+    ``record_decisions=True``; every candidate edge evaluated at dispatch time
+    is checked against every slot of the dual solution's horizon.
+    """
+    dual = dual or build_dual_solution(result)
+    violations: List[ConstraintViolation] = []
+    decision_log = _decision_log(result)
+    for decision in decision_log:
+        pid = decision["packet_id"]
+        record = result.records[pid]
+        packet = record.packet
+        for impact in decision["candidates"]:
+            assert isinstance(impact, EdgeImpact)
+            t, r = impact.edge
+            d_e = impact.edge_delay
+            d_hat = topology.path_delay(t, r)
+            for slot in range(packet.arrival, dual.max_slot + 1):
+                lhs = impact.total - d_e * (dual.beta_t(t, slot) + dual.beta_r(r, slot))
+                rhs = 2.0 * packet.weight * (slot + d_hat - packet.arrival)
+                if lhs > rhs + _TOL:
+                    violations.append(
+                        ConstraintViolation(pid, (t, r), slot, lhs=lhs, rhs=rhs)
+                    )
+                    if len(violations) >= max_violations:
+                        return violations
+    return violations
+
+
+def _decision_log(result: SimulationResult) -> List[Dict[str, object]]:
+    """Fetch the dispatcher decision log attached to the run's policy, if any."""
+    log = getattr(result, "_decision_log", None)
+    if log is not None:
+        return log
+    raise AnalysisError(
+        "Lemma 4 requires the dispatcher decision log; run the engine with an "
+        "ImpactDispatcher(record_decisions=True) policy and attach its "
+        "decision_log to the result via attach_decision_log()"
+    )
+
+
+def attach_decision_log(result: SimulationResult, dispatcher: ImpactDispatcher) -> SimulationResult:
+    """Attach an impact dispatcher's decision log to ``result`` for Lemma 4 checks."""
+    result._decision_log = list(dispatcher.decision_log)  # type: ignore[attr-defined]
+    return result
+
+
+def check_dual_feasibility(
+    result: SimulationResult,
+    topology: TwoTierTopology,
+    dual: Optional[DualSolution] = None,
+    scale: float = 0.5,
+    max_violations: int = 100,
+) -> List[ConstraintViolation]:
+    """Check the Figure 4 dual constraints for the scaled dual solution.
+
+    With ``scale = 0.5`` this is exactly the Lemma 5 claim (the halved dual
+    solution is feasible); with ``scale = 1.0`` it checks the raw assignment,
+    which the paper notes may violate constraints by up to a factor 2.
+    """
+    dual = dual or build_dual_solution(result)
+    violations: List[ConstraintViolation] = []
+    for record in result:
+        packet = record.packet
+        alpha = scale * record.alpha
+        # Fixed-link constraint: α_p ≤ w_p · d_l(p).
+        if topology.has_fixed_link(packet.source, packet.destination):
+            rhs = packet.weight * topology.fixed_link_delay(packet.source, packet.destination)
+            if alpha > rhs + _TOL:
+                violations.append(ConstraintViolation(packet.packet_id, None, None, alpha, rhs))
+                if len(violations) >= max_violations:
+                    return violations
+        # Reconfigurable-edge constraints.
+        for (t, r) in topology.candidate_edges(packet.source, packet.destination):
+            d_e = topology.edge_delay(t, r)
+            d_hat = topology.path_delay(t, r)
+            for slot in range(packet.arrival, dual.max_slot + 1):
+                lhs = alpha - scale * d_e * (dual.beta_t(t, slot) + dual.beta_r(r, slot))
+                rhs = packet.weight * (slot + d_hat - packet.arrival)
+                if lhs > rhs + _TOL:
+                    violations.append(
+                        ConstraintViolation(packet.packet_id, (t, r), slot, lhs, rhs)
+                    )
+                    if len(violations) >= max_violations:
+                        return violations
+    return violations
+
+
+def verify_certificate(
+    result: SimulationResult,
+    topology: TwoTierTopology,
+    epsilon: float,
+    check_charging: bool = True,
+    check_lemma4_constraints: bool = False,
+) -> DualFittingCertificate:
+    """Run every dual-fitting check on ``result`` and bundle the outcome.
+
+    Parameters
+    ----------
+    result:
+        A completed run of the paper's algorithm at speed 1.
+    topology:
+        The topology the run used.
+    epsilon:
+        Augmentation parameter ``ε > 0`` for the dual objective and bounds.
+    check_charging:
+        Include the Lemma 2 charging check (requires a recorded trace).
+    check_lemma4_constraints:
+        Include the Lemma 4 check (requires an attached dispatcher decision
+        log, see :func:`attach_decision_log`).
+    """
+    if epsilon <= 0:
+        raise AnalysisError(f"epsilon must be > 0, got {epsilon}")
+    dual = build_dual_solution(result)
+    lemma1 = check_lemma1(result, dual)
+    lemma2 = check_lemma2(result) if check_charging else None
+    lemma4_violations: List[ConstraintViolation] = []
+    lemma4_checked = False
+    if check_lemma4_constraints:
+        lemma4_violations = check_lemma4(result, topology, dual)
+        lemma4_checked = True
+    dual_violations = check_dual_feasibility(result, topology, dual, scale=0.5)
+    return DualFittingCertificate(
+        epsilon=epsilon,
+        algorithm_cost=result.total_weighted_latency,
+        dual_objective=dual.objective(epsilon),
+        feasible_dual_value=dual.feasible_lower_bound(epsilon),
+        lemma1=lemma1,
+        lemma2=lemma2,
+        lemma4_violations=lemma4_violations,
+        dual_violations=dual_violations,
+        lemma4_checked=lemma4_checked,
+    )

@@ -1,0 +1,52 @@
+"""Baseline online policies and offline optima for comparison experiments."""
+
+from repro.baselines.brute_force import BruteForceResult, brute_force_optimal
+from repro.baselines.dispatchers import (
+    DirectFirstDispatcher,
+    LeastLoadedDispatcher,
+    RandomDispatcher,
+    ShortestPathDispatcher,
+)
+from repro.baselines.policies import (
+    ablation_policies,
+    all_policies,
+    make_direct_first_policy,
+    make_fifo_policy,
+    make_impact_fifo_policy,
+    make_islip_policy,
+    make_least_loaded_stable_policy,
+    make_maxweight_policy,
+    make_random_policy,
+    make_shortest_path_policy,
+    standard_baselines,
+)
+from repro.baselines.schedulers import (
+    FIFOScheduler,
+    ISLIPScheduler,
+    MaxWeightMatchingScheduler,
+    RandomOrderScheduler,
+)
+
+__all__ = [
+    "RandomDispatcher",
+    "LeastLoadedDispatcher",
+    "ShortestPathDispatcher",
+    "DirectFirstDispatcher",
+    "FIFOScheduler",
+    "RandomOrderScheduler",
+    "MaxWeightMatchingScheduler",
+    "ISLIPScheduler",
+    "make_fifo_policy",
+    "make_random_policy",
+    "make_maxweight_policy",
+    "make_islip_policy",
+    "make_direct_first_policy",
+    "make_shortest_path_policy",
+    "make_least_loaded_stable_policy",
+    "make_impact_fifo_policy",
+    "standard_baselines",
+    "ablation_policies",
+    "all_policies",
+    "brute_force_optimal",
+    "BruteForceResult",
+]

@@ -1,0 +1,236 @@
+"""Baseline per-slot schedulers.
+
+All schedulers consume the same :class:`~repro.core.queues.PendingChunkPool`
+as the paper's stable-matching scheduler and must return a matching of
+eligible pending chunks.  They quantify the value of the stable-matching
+(weight-ordered) rule against classic alternatives:
+
+* FIFO greedy matching (arrival-ordered instead of weight-ordered);
+* maximum-weight matching recomputed every slot (the throughput-optimal
+  crossbar schedule, via networkx's blossom implementation);
+* iSLIP-style iterative round-robin matching (the de-facto standard in
+  commercial input-queued switches);
+* random-order greedy matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.interfaces import Scheduler
+from repro.core.packet import Chunk
+from repro.core.queues import PendingChunkPool
+from repro.core.scheduler import OrderedGreedyScheduler
+from repro.network.topology import TwoTierTopology
+from repro.utils.ordering import chunk_priority_key
+from repro.utils.rng import RngLike, as_rng
+
+__all__ = [
+    "FIFOScheduler",
+    "RandomOrderScheduler",
+    "MaxWeightMatchingScheduler",
+    "ISLIPScheduler",
+]
+
+
+class FIFOScheduler(OrderedGreedyScheduler):
+    """Greedy matching in arrival order (oldest chunk first).
+
+    This is the natural work-conserving policy a weight-oblivious system
+    would use; comparing it against the stable-matching scheduler isolates
+    the benefit of weight-aware ordering.
+    """
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__(
+            key=lambda c: (c.packet.arrival, c.packet.packet_id, c.index), name=self.name
+        )
+
+
+class RandomOrderScheduler(Scheduler):
+    """Greedy matching in a fresh uniformly random chunk order each slot."""
+
+    name = "random-order"
+
+    def __init__(self, seed: RngLike = None) -> None:
+        self._seed = seed
+        self._rng = as_rng(seed)
+
+    def reset(self) -> None:
+        """Re-seed so repeated runs are identical."""
+        self._rng = as_rng(self._seed)
+
+    def select_matching(
+        self, pool: PendingChunkPool, topology: TwoTierTopology, now: int
+    ) -> List[Chunk]:
+        eligible = pool.eligible_chunks(now)
+        order = self._rng.permutation(len(eligible))
+        selected: List[Chunk] = []
+        used_t: set[str] = set()
+        used_r: set[str] = set()
+        for idx in order:
+            chunk = eligible[int(idx)]
+            if chunk.transmitter in used_t or chunk.receiver in used_r:
+                continue
+            selected.append(chunk)
+            used_t.add(chunk.transmitter)
+            used_r.add(chunk.receiver)
+        return selected
+
+
+class MaxWeightMatchingScheduler(Scheduler):
+    """Maximum-weight matching over the pending-chunk bipartite graph.
+
+    Each slot, the transmitter–receiver graph is built with one edge per
+    reconfigurable edge that has at least one eligible chunk; the edge weight
+    is either the heaviest eligible chunk (``mode="max"``, the classic
+    MaxWeight policy on per-edge virtual output queues) or the total eligible
+    weight (``mode="sum"``).  The maximum-weight matching is computed with
+    :func:`networkx.algorithms.matching.max_weight_matching` and the
+    highest-priority chunk of each matched edge is transmitted.
+    """
+
+    name = "max-weight-matching"
+
+    def __init__(self, mode: str = "max") -> None:
+        if mode not in ("max", "sum"):
+            raise ValueError(f"mode must be 'max' or 'sum', got {mode!r}")
+        self.mode = mode
+        self.name = f"max-weight-matching({mode})"
+
+    def select_matching(
+        self, pool: PendingChunkPool, topology: TwoTierTopology, now: int
+    ) -> List[Chunk]:
+        eligible = pool.eligible_chunks(now)
+        if not eligible:
+            return []
+        best_chunk: Dict[Tuple[str, str], Chunk] = {}
+        edge_weight: Dict[Tuple[str, str], float] = {}
+        for chunk in eligible:
+            edge = chunk.edge
+            if edge not in best_chunk or chunk_priority_key(chunk) < chunk_priority_key(
+                best_chunk[edge]
+            ):
+                best_chunk[edge] = chunk
+            edge_weight[edge] = (
+                edge_weight.get(edge, 0.0) + chunk.weight
+                if self.mode == "sum"
+                else max(edge_weight.get(edge, 0.0), chunk.weight)
+            )
+
+        graph = nx.Graph()
+        for (t, r), weight in edge_weight.items():
+            # Prefix node names to keep the two sides disjoint even if a
+            # transmitter and receiver share a name.
+            graph.add_edge(("T", t), ("R", r), weight=weight)
+        matching = nx.algorithms.matching.max_weight_matching(graph, maxcardinality=False)
+
+        selected: List[Chunk] = []
+        for (a, b) in matching:
+            (side_a, name_a), (side_b, name_b) = a, b
+            if side_a == "T":
+                t, r = name_a, name_b
+            else:
+                t, r = name_b, name_a
+            selected.append(best_chunk[(t, r)])
+        return selected
+
+
+class ISLIPScheduler(Scheduler):
+    """iSLIP-style iterative round-robin matching (McKeown 1999), adapted to chunks.
+
+    Each reconfigurable edge with eligible chunks acts as a virtual output
+    queue.  In every iteration, unmatched transmitters request all receivers
+    for which they hold eligible chunks; each receiver grants to the first
+    requesting transmitter at or after its grant pointer; each transmitter
+    accepts the first granting receiver at or after its accept pointer.
+    Pointers advance past an accepted partner only for grants accepted in the
+    first iteration (the standard desynchronisation rule).  The oldest
+    eligible chunk on each matched edge is transmitted.
+    """
+
+    name = "islip"
+
+    def __init__(self, iterations: int = 3) -> None:
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = iterations
+        self._grant_pointer: Dict[str, int] = {}
+        self._accept_pointer: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Reset the round-robin pointers."""
+        self._grant_pointer = {}
+        self._accept_pointer = {}
+
+    @staticmethod
+    def _oldest(chunks: List[Chunk]) -> Chunk:
+        return min(chunks, key=lambda c: (c.packet.arrival, c.packet.packet_id, c.index))
+
+    def select_matching(
+        self, pool: PendingChunkPool, topology: TwoTierTopology, now: int
+    ) -> List[Chunk]:
+        eligible = pool.eligible_chunks(now)
+        if not eligible:
+            return []
+        by_edge: Dict[Tuple[str, str], List[Chunk]] = {}
+        for chunk in eligible:
+            by_edge.setdefault(chunk.edge, []).append(chunk)
+
+        transmitters = sorted({t for (t, _r) in by_edge})
+        receivers = sorted({r for (_t, r) in by_edge})
+        t_index = {t: i for i, t in enumerate(transmitters)}
+        r_index = {r: i for i, r in enumerate(receivers)}
+        requests_by_t: Dict[str, List[str]] = {}
+        for (t, r) in by_edge:
+            requests_by_t.setdefault(t, []).append(r)
+
+        matched_t: Dict[str, str] = {}
+        matched_r: Dict[str, str] = {}
+
+        for iteration in range(self.iterations):
+            # Request phase: every unmatched transmitter requests all receivers
+            # of its non-empty VOQs that are still unmatched.
+            grants: Dict[str, List[str]] = {}
+            for t in transmitters:
+                if t in matched_t:
+                    continue
+                for r in requests_by_t.get(t, ()):
+                    if r in matched_r:
+                        continue
+                    grants.setdefault(r, []).append(t)
+
+            # Grant phase: each receiver grants to the first requester at or
+            # after its pointer (in transmitter index order).
+            accepts: Dict[str, List[str]] = {}
+            for r, requesters in grants.items():
+                pointer = self._grant_pointer.get(r, 0) % max(len(transmitters), 1)
+                chosen = min(
+                    requesters, key=lambda t: ((t_index[t] - pointer) % len(transmitters), t)
+                )
+                accepts.setdefault(chosen, []).append(r)
+
+            # Accept phase: each transmitter accepts the first granting
+            # receiver at or after its pointer.
+            newly_matched = []
+            for t, granting in accepts.items():
+                pointer = self._accept_pointer.get(t, 0) % max(len(receivers), 1)
+                chosen = min(
+                    granting, key=lambda r: ((r_index[r] - pointer) % len(receivers), r)
+                )
+                matched_t[t] = chosen
+                matched_r[chosen] = t
+                newly_matched.append((t, chosen))
+
+            if iteration == 0:
+                for (t, r) in newly_matched:
+                    self._grant_pointer[r] = (t_index[t] + 1) % len(transmitters)
+                    self._accept_pointer[t] = (r_index[r] + 1) % len(receivers)
+            if not newly_matched:
+                break
+
+        return [self._oldest(by_edge[(t, r)]) for t, r in matched_t.items()]

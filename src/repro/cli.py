@@ -1,0 +1,247 @@
+"""Command-line interface for the reproduction.
+
+The CLI wraps the most common entry points so results can be regenerated
+without writing Python:
+
+``python -m repro.cli figures``
+    Reproduce the paper's worked examples (Figure 1 costs, Figure 2 impacts).
+
+``python -m repro.cli compare --racks 6 --packets 150 --workload zipf``
+    Run ALG and the baseline policies on one generated workload and print the
+    comparison table.
+
+``python -m repro.cli competitive --epsilon 1.0 --packets 10``
+    Measure the empirical competitive ratio against the LP lower bound and
+    check the Theorem 1 bound.
+
+``python -m repro.cli simulate --racks 4 --packets 60 --policy alg --trace``
+    Run a single policy on a generated workload and print metrics (optionally
+    the slot-by-slot trace), or replay a CSV packet trace with ``--input``.
+
+Every subcommand accepts ``--seed`` and prints deterministic output for a
+fixed seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import compute_charges, evaluate_competitive_ratio
+from repro.baselines import ablation_policies, all_policies, brute_force_optimal
+from repro.core import OpportunisticLinkScheduler
+from repro.core.interfaces import Policy
+from repro.experiments import (
+    compare_policies_on_instance,
+    format_comparison_table,
+    small_lp_instances,
+    standard_projector_instances,
+)
+from repro.network import projector_fabric
+from repro.simulation import completion_time_statistics, latency_statistics, simulate
+from repro.utils.tables import format_table
+from repro.workloads import (
+    Instance,
+    figure1_instance,
+    figure1_reported_costs,
+    figure2_instances,
+    figure2_reported_impacts,
+    read_packet_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = ("uniform", "zipf", "elephant-mice", "hotspot", "bursty", "incast")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scheduling Opportunistic Links in Two-Tiered "
+        "Reconfigurable Datacenters' (SPAA 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce the paper's worked examples")
+    figures.set_defaults(func=cmd_figures)
+
+    compare = sub.add_parser("compare", help="compare ALG against the baseline policies")
+    compare.add_argument("--racks", type=int, default=6, help="number of racks")
+    compare.add_argument("--packets", type=int, default=150, help="number of packets")
+    compare.add_argument("--workload", choices=_WORKLOADS, default="zipf")
+    compare.add_argument("--seed", type=int, default=2021)
+    compare.add_argument("--ablations", action="store_true", help="include ablation policies")
+    compare.set_defaults(func=cmd_compare)
+
+    competitive = sub.add_parser(
+        "competitive", help="measure the empirical competitive ratio (Theorem 1)"
+    )
+    competitive.add_argument("--epsilon", type=float, default=1.0)
+    competitive.add_argument("--packets", type=int, default=10)
+    competitive.add_argument("--instances", type=int, default=2)
+    competitive.add_argument("--seed", type=int, default=19)
+    competitive.add_argument(
+        "--no-lp", action="store_true", help="use only the dual lower bound (faster)"
+    )
+    competitive.set_defaults(func=cmd_competitive)
+
+    sim = sub.add_parser("simulate", help="run one policy on one workload")
+    sim.add_argument("--racks", type=int, default=4)
+    sim.add_argument("--packets", type=int, default=60)
+    sim.add_argument("--workload", choices=_WORKLOADS, default="zipf")
+    sim.add_argument("--policy", default="alg", help="policy name (see repro.baselines.all_policies)")
+    sim.add_argument("--speed", type=float, default=1.0)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--trace", action="store_true", help="print the slot-by-slot trace")
+    sim.add_argument("--input", default=None, help="replay a CSV packet trace instead of generating one")
+    sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+# ---------------------------------------------------------------------- #
+def cmd_figures(_args: argparse.Namespace) -> int:
+    """Reproduce Figure 1 and Figure 2 and print paper-vs-measured tables."""
+    instance = figure1_instance()
+    alg = simulate(instance.topology, OpportunisticLinkScheduler(), instance.packets)
+    optimum = brute_force_optimal(instance)
+    expected = figure1_reported_costs()
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["Figure 1 feasible schedule", expected["feasible_solution"], 9.0],
+                ["Figure 1 optimal schedule", expected["optimal_solution"], optimum.cost],
+                ["Figure 1 ALG cost", "n/a", alg.total_weighted_latency],
+            ],
+            title="Figure 1",
+        )
+    )
+    rows = []
+    for key, fig2 in figure2_instances().items():
+        result = simulate(
+            fig2.topology, OpportunisticLinkScheduler(), fig2.packets, record_trace=True
+        )
+        charges = compute_charges(result)
+        for pid, value in figure2_reported_impacts()[key].items():
+            rows.append([key, f"p{pid + 1}", value, charges.charge(pid)])
+    print()
+    print(format_table(["packet set", "packet", "paper", "measured"], rows, title="Figure 2"))
+    return 0
+
+
+def _generated_instance(racks: int, packets: int, workload: str, seed: int) -> Instance:
+    suite = standard_projector_instances(
+        num_racks=racks, lasers_per_rack=2, num_packets=packets, seed=seed
+    )
+    return suite[workload]
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run ALG and the baselines on one generated workload."""
+    instance = _generated_instance(args.racks, args.packets, args.workload, args.seed)
+    policies: Dict[str, Policy] = all_policies(seed=args.seed, include_direct_first=False)
+    if not args.ablations:
+        for name in ablation_policies():
+            policies.pop(name, None)
+    rows = compare_policies_on_instance(instance, policies)
+    print(
+        format_comparison_table(
+            rows, title=f"{args.workload} workload, {args.racks} racks, {args.packets} packets"
+        )
+    )
+    return 0
+
+
+def cmd_competitive(args: argparse.Namespace) -> int:
+    """Measure the empirical competitive ratio on small random instances."""
+    if args.epsilon <= 0:
+        print("error: --epsilon must be positive", file=sys.stderr)
+        return 2
+    instances = small_lp_instances(
+        num_instances=args.instances, num_packets=args.packets, seed=args.seed
+    )
+    rows = []
+    all_within = True
+    for instance in instances.values():
+        report = evaluate_competitive_ratio(instance, args.epsilon, use_lp=not args.no_lp)
+        all_within = all_within and report.within_bound
+        rows.append(
+            [
+                instance.name,
+                args.epsilon,
+                report.algorithm_cost,
+                report.best_lower_bound,
+                report.empirical_ratio,
+                report.theoretical_bound,
+                report.within_bound,
+            ]
+        )
+    print(
+        format_table(
+            ["instance", "epsilon", "ALG cost", "lower bound", "ratio", "bound", "within"],
+            rows,
+            title="Theorem 1: empirical competitive ratio",
+        )
+    )
+    return 0 if all_within else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run a single policy on a generated workload or a replayed trace."""
+    policies = all_policies(seed=args.seed, include_direct_first=True)
+    if args.policy not in policies:
+        print(
+            f"error: unknown policy {args.policy!r}; choose from {sorted(policies)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.input is not None:
+        topology = projector_fabric(
+            num_racks=args.racks, lasers_per_rack=2, photodetectors_per_rack=2, seed=args.seed
+        )
+        packets = read_packet_trace(args.input)
+    else:
+        instance = _generated_instance(args.racks, args.packets, args.workload, args.seed)
+        topology, packets = instance.topology, instance.packets
+
+    result = simulate(
+        topology, policies[args.policy], packets, speed=args.speed, record_trace=args.trace
+    )
+    weighted = latency_statistics(result)
+    completion = completion_time_statistics(result)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["policy", result.policy_name],
+                ["packets", len(result)],
+                ["all delivered", result.all_delivered],
+                ["total weighted latency", result.total_weighted_latency],
+                ["mean weighted latency", weighted.mean],
+                ["p99 weighted latency", weighted.p99],
+                ["mean completion time", completion.mean],
+                ["slots simulated", result.num_slots],
+                ["fixed-link fraction", result.fixed_link_fraction],
+            ],
+            title="simulation summary",
+        )
+    )
+    if args.trace and result.trace is not None:
+        print()
+        print(result.trace.format(max_slots=10))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

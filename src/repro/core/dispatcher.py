@@ -1,0 +1,236 @@
+"""The worst-case-impact dispatcher of Section III-B.
+
+Upon arrival of packet ``p`` the dispatcher evaluates, for every candidate
+reconfigurable edge ``e = (t, r) ∈ E_p``, the *worst-case impact* of assigning
+``p`` to ``e``:
+
+.. math::
+
+    Δ_p(e) = w_p · ( d(src,t) + (d(e)+1)/2 + d(r,dest) )
+             + w_p · |H_p(e)| + d(e) · w(L_p(e))
+
+where ``A_p(e)`` is the set of pending chunks (of earlier-arrived packets)
+assigned to an edge sharing ``t`` or ``r``, ``H_p(e) ⊆ A_p(e)`` are the chunks
+that may delay ``p``'s chunks (weight at least ``w_p/d(e)``; ties favour the
+earlier arrival, i.e. the existing chunk) and ``L_p(e) = A_p(e) \\ H_p(e)`` are
+the chunks ``p`` may delay.
+
+The packet is assigned to the edge minimising ``Δ_p(e)`` unless a direct fixed
+link exists whose weighted latency ``w_p · d_l(p)`` is no larger, in which
+case the fixed link is used.  The chosen value also becomes the dual variable
+``α_p`` used throughout the competitive analysis (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interfaces import Dispatcher
+from repro.core.packet import (
+    Assignment,
+    EdgeAssignment,
+    FixedLinkAssignment,
+    Packet,
+    split_into_chunks,
+)
+from repro.core.queues import PendingChunkPool
+from repro.exceptions import RoutingError
+from repro.network.topology import TwoTierTopology
+
+__all__ = ["ImpactDispatcher", "EdgeImpact", "compute_edge_impact"]
+
+
+@dataclass(frozen=True)
+class EdgeImpact:
+    """Breakdown of the worst-case impact ``Δ_p(e)`` of one candidate edge.
+
+    Attributes
+    ----------
+    transmitter, receiver:
+        The candidate edge.
+    edge_delay:
+        ``d(e)``.
+    self_latency:
+        ``w_p · (d(src,t) + (d(e)+1)/2 + d(r,dest))`` — the weighted latency
+        of ``p``'s own chunks when they are never blocked by other packets.
+    blocked_by_term:
+        ``w_p · |H_p(e)|`` — worst-case latency ``p`` suffers from heavier
+        pending chunks.
+    blocks_term:
+        ``d(e) · w(L_p(e))`` — worst-case latency ``p`` inflicts on lighter
+        pending chunks.
+    num_heavier, num_lighter:
+        ``|H_p(e)|`` and ``|L_p(e)|``.
+    """
+
+    transmitter: str
+    receiver: str
+    edge_delay: int
+    self_latency: float
+    blocked_by_term: float
+    blocks_term: float
+    num_heavier: int
+    num_lighter: int
+
+    @property
+    def edge(self) -> Tuple[str, str]:
+        """The candidate ``(transmitter, receiver)`` pair."""
+        return (self.transmitter, self.receiver)
+
+    @property
+    def total(self) -> float:
+        """The worst-case impact ``Δ_p(e)``."""
+        return self.self_latency + self.blocked_by_term + self.blocks_term
+
+
+def compute_edge_impact(
+    packet: Packet,
+    transmitter: str,
+    receiver: str,
+    topology: TwoTierTopology,
+    pool: PendingChunkPool,
+) -> EdgeImpact:
+    """Compute ``Δ_p(e)`` for ``packet`` on edge ``(transmitter, receiver)``.
+
+    The pending chunks currently in ``pool`` play the role of the paper's set
+    ``B_p`` (chunks of packets that arrived before ``p`` and are still
+    pending); chunks adjacent to the edge form ``A_p(e)``.
+    """
+    d_e = topology.edge_delay(transmitter, receiver)
+    head = topology.head_delay(transmitter)
+    tail = topology.tail_delay(receiver)
+    chunk_weight = packet.weight / d_e
+
+    num_heavier = 0
+    lighter_weight = 0.0
+    num_lighter = 0
+    for chunk in pool.adjacent_chunks(transmitter, receiver):
+        # Ties go to the already-pending chunk (it belongs to an earlier
+        # packet), so equality counts towards H_p(e).
+        if chunk.weight >= chunk_weight:
+            num_heavier += 1
+        else:
+            num_lighter += 1
+            lighter_weight += chunk.weight
+
+    self_latency = packet.weight * (head + (d_e + 1) / 2.0 + tail)
+    return EdgeImpact(
+        transmitter=transmitter,
+        receiver=receiver,
+        edge_delay=d_e,
+        self_latency=self_latency,
+        blocked_by_term=packet.weight * num_heavier,
+        blocks_term=d_e * lighter_weight,
+        num_heavier=num_heavier,
+        num_lighter=num_lighter,
+    )
+
+
+class ImpactDispatcher(Dispatcher):
+    """The paper's greedy minimum-worst-case-impact dispatch rule."""
+
+    name = "impact"
+
+    def __init__(self, record_decisions: bool = False) -> None:
+        #: When ``record_decisions`` is set, every dispatch stores the full
+        #: per-edge impact breakdown for later inspection (used by the
+        #: Figure 2 reproduction and by the analysis tests).
+        self.record_decisions = record_decisions
+        self.decision_log: List[Dict[str, object]] = []
+
+    def reset(self) -> None:
+        """Clear the decision log."""
+        self.decision_log = []
+
+    # ------------------------------------------------------------------ #
+    def evaluate_candidates(
+        self,
+        packet: Packet,
+        topology: TwoTierTopology,
+        pool: PendingChunkPool,
+    ) -> List[EdgeImpact]:
+        """Return the impact breakdown of every candidate edge of ``packet``."""
+        candidates = topology.candidate_edges(packet.source, packet.destination)
+        return [
+            compute_edge_impact(packet, t, r, topology, pool) for (t, r) in candidates
+        ]
+
+    def dispatch(
+        self,
+        packet: Packet,
+        topology: TwoTierTopology,
+        pool: PendingChunkPool,
+        now: int,
+    ) -> Assignment:
+        """Assign ``packet`` per Section III-B and return the assignment.
+
+        Raises
+        ------
+        RoutingError
+            If the packet has neither a candidate reconfigurable edge nor a
+            fixed link.
+        """
+        impacts = self.evaluate_candidates(packet, topology, pool)
+        best: Optional[EdgeImpact] = None
+        for impact in impacts:
+            if best is None or (impact.total, impact.edge) < (best.total, best.edge):
+                best = impact
+
+        has_fixed = topology.has_fixed_link(packet.source, packet.destination)
+        fixed_latency: Optional[float] = None
+        if has_fixed:
+            fixed_latency = packet.weight * topology.fixed_link_delay(
+                packet.source, packet.destination
+            )
+
+        if best is None and not has_fixed:
+            raise RoutingError(
+                f"packet {packet.packet_id} ({packet.source}->{packet.destination}) "
+                "has no reconfigurable edge and no fixed link"
+            )
+
+        use_fixed = False
+        if has_fixed and (best is None or fixed_latency <= best.total):
+            use_fixed = True
+
+        assignment: Assignment
+        if use_fixed:
+            assert fixed_latency is not None
+            assignment = FixedLinkAssignment(
+                packet=packet,
+                link_delay=topology.fixed_link_delay(packet.source, packet.destination),
+                impact=fixed_latency,
+            )
+        else:
+            assert best is not None
+            chunks = split_into_chunks(
+                packet,
+                best.transmitter,
+                best.receiver,
+                edge_delay=best.edge_delay,
+                head_delay=topology.head_delay(best.transmitter),
+                tail_delay=topology.tail_delay(best.receiver),
+            )
+            assignment = EdgeAssignment(
+                packet=packet,
+                transmitter=best.transmitter,
+                receiver=best.receiver,
+                edge_delay=best.edge_delay,
+                impact=best.total,
+                chunks=chunks,
+            )
+
+        if self.record_decisions:
+            self.decision_log.append(
+                {
+                    "packet_id": packet.packet_id,
+                    "now": now,
+                    "candidates": impacts,
+                    "fixed_latency": fixed_latency,
+                    "chosen_fixed": use_fixed,
+                    "impact": assignment.impact,
+                    "edge": None if use_fixed else assignment.edge,
+                }
+            )
+        return assignment

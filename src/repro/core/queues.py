@@ -1,0 +1,146 @@
+"""Pending-chunk bookkeeping shared by dispatchers, schedulers and the engine.
+
+The :class:`PendingChunkPool` indexes all dispatched-but-undelivered chunks
+
+* by reconfigurable edge (the per-edge transmission queue),
+* by transmitter and by receiver (the adjacency sets the dispatcher's
+  ``A_p(e)`` computation and the stable-matching blocking relation need),
+
+and offers priority-ordered iteration using the single chunk order defined in
+:mod:`repro.utils.ordering` (decreasing weight, ties by earlier arrival).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.core.packet import Chunk
+from repro.exceptions import SimulationError
+from repro.utils.ordering import chunk_priority_key
+
+__all__ = ["PendingChunkPool"]
+
+
+class PendingChunkPool:
+    """Container of pending (dispatched, not fully transmitted) chunks."""
+
+    def __init__(self) -> None:
+        self._by_edge: Dict[Tuple[str, str], List[Chunk]] = {}
+        self._by_transmitter: Dict[str, Set[Chunk]] = {}
+        self._by_receiver: Dict[str, Set[Chunk]] = {}
+        self._all: Set[Chunk] = set()
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, chunk: Chunk) -> None:
+        """Add a pending chunk to the pool."""
+        if chunk in self._all:
+            raise SimulationError(f"chunk {chunk!r} is already in the pool")
+        if not chunk.pending:
+            raise SimulationError(f"cannot add non-pending chunk {chunk!r}")
+        self._all.add(chunk)
+        self._by_edge.setdefault(chunk.edge, []).append(chunk)
+        self._by_transmitter.setdefault(chunk.transmitter, set()).add(chunk)
+        self._by_receiver.setdefault(chunk.receiver, set()).add(chunk)
+
+    def add_all(self, chunks: Iterable[Chunk]) -> None:
+        """Add every chunk in ``chunks`` to the pool."""
+        for chunk in chunks:
+            self.add(chunk)
+
+    def remove(self, chunk: Chunk) -> None:
+        """Remove a chunk (typically because it finished transmission)."""
+        if chunk not in self._all:
+            raise SimulationError(f"chunk {chunk!r} is not in the pool")
+        self._all.discard(chunk)
+        edge_list = self._by_edge.get(chunk.edge, [])
+        if chunk in edge_list:
+            edge_list.remove(chunk)
+            if not edge_list:
+                self._by_edge.pop(chunk.edge, None)
+        tx_set = self._by_transmitter.get(chunk.transmitter)
+        if tx_set is not None:
+            tx_set.discard(chunk)
+            if not tx_set:
+                self._by_transmitter.pop(chunk.transmitter, None)
+        rx_set = self._by_receiver.get(chunk.receiver)
+        if rx_set is not None:
+            rx_set.discard(chunk)
+            if not rx_set:
+                self._by_receiver.pop(chunk.receiver, None)
+
+    def clear(self) -> None:
+        """Remove every chunk from the pool."""
+        self._by_edge.clear()
+        self._by_transmitter.clear()
+        self._by_receiver.clear()
+        self._all.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __contains__(self, chunk: Chunk) -> bool:
+        return chunk in self._all
+
+    def __iter__(self) -> Iterator[Chunk]:
+        return iter(self._all)
+
+    def is_empty(self) -> bool:
+        """Whether the pool holds no pending chunks."""
+        return not self._all
+
+    def chunks_on_edge(self, transmitter: str, receiver: str) -> List[Chunk]:
+        """Pending chunks assigned to the given edge, in priority order."""
+        chunks = list(self._by_edge.get((transmitter, receiver), ()))
+        chunks.sort(key=chunk_priority_key)
+        return chunks
+
+    def chunks_at_transmitter(self, transmitter: str) -> List[Chunk]:
+        """Pending chunks assigned to any edge incident to ``transmitter``."""
+        return sorted(self._by_transmitter.get(transmitter, ()), key=chunk_priority_key)
+
+    def chunks_at_receiver(self, receiver: str) -> List[Chunk]:
+        """Pending chunks assigned to any edge incident to ``receiver``."""
+        return sorted(self._by_receiver.get(receiver, ()), key=chunk_priority_key)
+
+    def adjacent_chunks(self, transmitter: str, receiver: str) -> List[Chunk]:
+        """Pending chunks sharing the transmitter *or* the receiver of an edge.
+
+        This is the paper's set ``A_p(e)`` (restricted to pending chunks, which
+        is exactly what the dispatcher needs because it runs before the new
+        packet's own chunks are added to the pool).
+        """
+        seen = self._by_transmitter.get(transmitter, set()) | self._by_receiver.get(
+            receiver, set()
+        )
+        return sorted(seen, key=chunk_priority_key)
+
+    def eligible_chunks(self, now: int) -> List[Chunk]:
+        """All pending chunks whose ``eligible_time <= now``, in priority order."""
+        chunks = [c for c in self._all if c.eligible_time <= now]
+        chunks.sort(key=chunk_priority_key)
+        return chunks
+
+    def busy_transmitters(self) -> Set[str]:
+        """Transmitters with at least one pending chunk."""
+        return set(self._by_transmitter)
+
+    def busy_receivers(self) -> Set[str]:
+        """Receivers with at least one pending chunk."""
+        return set(self._by_receiver)
+
+    def total_weight(self) -> float:
+        """Sum of weights of all pending chunks."""
+        return sum(c.weight for c in self._all)
+
+    def weight_at_transmitter(self, transmitter: str) -> float:
+        """Total pending chunk weight at ``transmitter`` (the β_{t,τ} quantity restricted to pending chunks)."""
+        return sum(c.weight for c in self._by_transmitter.get(transmitter, ()))
+
+    def weight_at_receiver(self, receiver: str) -> float:
+        """Total pending chunk weight at ``receiver``."""
+        return sum(c.weight for c in self._by_receiver.get(receiver, ()))

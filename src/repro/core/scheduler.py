@@ -1,0 +1,77 @@
+"""Per-slot schedulers built on the pending-chunk pool.
+
+The paper's scheduler (Section III-C) is :class:`StableMatchingScheduler`:
+at each slot it processes pending chunks in decreasing weight (ties by earlier
+arrival) and greedily selects a chunk whenever its edge's transmitter and
+receiver are both still free; the selected set is a stable matching and is
+transmitted during the slot.
+
+For convenience this module also exposes :class:`OrderedGreedyScheduler`, a
+generalisation that accepts any total order on chunks; the FIFO baseline in
+:mod:`repro.baselines` is an instance of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.core.interfaces import Scheduler
+from repro.core.packet import Chunk
+from repro.core.queues import PendingChunkPool
+from repro.network.topology import TwoTierTopology
+from repro.utils.ordering import chunk_priority_key
+
+__all__ = ["StableMatchingScheduler", "OrderedGreedyScheduler"]
+
+
+class OrderedGreedyScheduler(Scheduler):
+    """Greedy maximal matching in a caller-supplied chunk order.
+
+    Processes eligible pending chunks in the order induced by ``key`` and
+    selects a chunk whenever both endpoints of its edge are still free.  The
+    result is always a maximal matching; it is a *stable* matching exactly
+    when ``key`` is the paper's priority order.
+    """
+
+    name = "ordered-greedy"
+
+    def __init__(self, key: Callable[[Chunk], Tuple], name: str | None = None) -> None:
+        self._key = key
+        if name is not None:
+            self.name = name
+
+    def select_matching(
+        self,
+        pool: PendingChunkPool,
+        topology: TwoTierTopology,
+        now: int,
+    ) -> List[Chunk]:
+        """Return a maximal matching of eligible chunks in the configured order."""
+        selected: List[Chunk] = []
+        used_transmitters: set[str] = set()
+        used_receivers: set[str] = set()
+        eligible = [c for c in pool.eligible_chunks(now)]
+        eligible.sort(key=self._key)
+        for chunk in eligible:
+            if chunk.transmitter in used_transmitters or chunk.receiver in used_receivers:
+                continue
+            selected.append(chunk)
+            used_transmitters.add(chunk.transmitter)
+            used_receivers.add(chunk.receiver)
+        return selected
+
+
+class StableMatchingScheduler(OrderedGreedyScheduler):
+    """The paper's greedy stable-matching scheduler (Section III-C).
+
+    Chunks are considered in decreasing weight, ties broken by earlier packet
+    arrival (and then deterministically by packet id / chunk index).  Because
+    the priorities are symmetric, the greedy selection yields a stable
+    matching: every skipped chunk is blocked by a selected chunk of at least
+    its weight sharing its transmitter or receiver.
+    """
+
+    name = "stable-matching"
+
+    def __init__(self) -> None:
+        super().__init__(key=chunk_priority_key, name=self.name)

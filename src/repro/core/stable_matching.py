@@ -1,0 +1,147 @@
+"""Greedy stable matching over pending chunks (Section III-A / III-C).
+
+A matching ``M`` of chunks (each chunk occupies its assigned edge) is *stable*
+with respect to the chunk priority order if every pending chunk not in ``M``
+is *blocked* by some chunk in ``M``: the two chunks share a transmitter or a
+receiver and the blocking chunk does not have lower priority (its weight is at
+least as large; ties resolved by earlier packet arrival).
+
+Because priorities are symmetric the stable matching can be computed greedily:
+process chunks in decreasing priority and add a chunk whenever both endpoints
+of its edge are still free.  This module provides the greedy construction, a
+stability verifier used by the test-suite, and an edge-level variant that
+matches the description in Section I-B (edge weights = heaviest waiting
+packet).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.core.packet import Chunk
+from repro.utils.ordering import chunk_priority_key
+
+__all__ = [
+    "greedy_stable_matching",
+    "is_chunk_matching",
+    "is_stable_matching",
+    "blocking_chunk",
+    "greedy_stable_matching_on_edges",
+    "is_stable_edge_matching",
+]
+
+
+def greedy_stable_matching(chunks: Iterable[Chunk]) -> List[Chunk]:
+    """Compute the greedy stable matching over ``chunks``.
+
+    Chunks are processed in decreasing weight (ties: earlier packet arrival,
+    then packet id / chunk index); a chunk is selected when neither its
+    transmitter nor its receiver is already used by a selected chunk.
+
+    Returns the selected chunks in processing order.
+    """
+    selected: List[Chunk] = []
+    used_transmitters: Set[str] = set()
+    used_receivers: Set[str] = set()
+    for chunk in sorted(chunks, key=chunk_priority_key):
+        if chunk.transmitter in used_transmitters or chunk.receiver in used_receivers:
+            continue
+        selected.append(chunk)
+        used_transmitters.add(chunk.transmitter)
+        used_receivers.add(chunk.receiver)
+    return selected
+
+
+def is_chunk_matching(chunks: Sequence[Chunk]) -> bool:
+    """Whether ``chunks`` use every transmitter and receiver at most once."""
+    transmitters = [c.transmitter for c in chunks]
+    receivers = [c.receiver for c in chunks]
+    return len(set(transmitters)) == len(transmitters) and len(set(receivers)) == len(receivers)
+
+
+def blocking_chunk(chunk: Chunk, matching: Sequence[Chunk]) -> Chunk | None:
+    """Return a chunk of ``matching`` that blocks ``chunk``, if any.
+
+    A matched chunk ``c'`` blocks ``c`` when they share a transmitter or a
+    receiver and ``c'`` does not come after ``c`` in the priority order
+    (i.e. ``w_{c'} >= w_c``, ties resolved toward the earlier arrival).
+    """
+    key = chunk_priority_key(chunk)
+    for other in matching:
+        if other is chunk:
+            continue
+        if other.transmitter == chunk.transmitter or other.receiver == chunk.receiver:
+            if chunk_priority_key(other) <= key:
+                return other
+    return None
+
+
+def is_stable_matching(matching: Sequence[Chunk], pending: Iterable[Chunk]) -> bool:
+    """Verify that ``matching`` is a stable matching of ``pending`` chunks.
+
+    Checks (i) the matching property and (ii) that every pending chunk not in
+    the matching is blocked by some matched chunk.
+    """
+    if not is_chunk_matching(matching):
+        return False
+    matched = set(matching)
+    for chunk in pending:
+        if chunk in matched:
+            continue
+        if blocking_chunk(chunk, matching) is None:
+            return False
+    return True
+
+
+def greedy_stable_matching_on_edges(
+    edge_weights: Mapping[Tuple[str, str], float],
+) -> List[Tuple[str, str]]:
+    """Greedy stable matching on a weighted bipartite edge set.
+
+    This is the formulation of Section I-B: every edge ``(t, r)`` carries the
+    weight of the heaviest packet waiting to use it, and the stable matching
+    with respect to those symmetric priorities is computed greedily.  Ties are
+    broken lexicographically by edge name for determinism.
+    """
+    ordered = sorted(edge_weights.items(), key=lambda item: (-item[1], item[0]))
+    used_t: Set[str] = set()
+    used_r: Set[str] = set()
+    matching: List[Tuple[str, str]] = []
+    for (t, r), _weight in ordered:
+        if t in used_t or r in used_r:
+            continue
+        matching.append((t, r))
+        used_t.add(t)
+        used_r.add(r)
+    return matching
+
+
+def is_stable_edge_matching(
+    matching: Sequence[Tuple[str, str]],
+    edge_weights: Mapping[Tuple[str, str], float],
+) -> bool:
+    """Verify stability of an edge-level matching under symmetric edge weights.
+
+    Every non-matched edge must be adjacent to a matched edge of weight at
+    least as large (Section III-A's definition of blocking).
+    """
+    matched = set(matching)
+    # Matching property.
+    ts = [t for (t, _r) in matching]
+    rs = [r for (_t, r) in matching]
+    if len(set(ts)) != len(ts) or len(set(rs)) != len(rs):
+        return False
+    used_t: Dict[str, float] = {}
+    used_r: Dict[str, float] = {}
+    for (t, r) in matching:
+        weight = edge_weights[(t, r)]
+        used_t[t] = weight
+        used_r[r] = weight
+    for edge, weight in edge_weights.items():
+        if edge in matched:
+            continue
+        t, r = edge
+        blocked = (t in used_t and used_t[t] >= weight) or (r in used_r and used_r[r] >= weight)
+        if not blocked:
+            return False
+    return True

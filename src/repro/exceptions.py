@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "WorkloadError",
+    "SimulationError",
+    "DispatchError",
+    "SchedulingError",
+    "AnalysisError",
+    "LPError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is structurally invalid or a query is malformed.
+
+    Examples include: attaching a transmitter to an unknown source, adding a
+    reconfigurable edge with delay ``< 1``, or requesting the neighbourhood of
+    a node that does not exist.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when a packet cannot be routed.
+
+    A packet is unroutable when its (source, destination) pair has neither a
+    transmitter-receiver edge in the reconfigurable network nor a direct fixed
+    link.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload specification or trace file is invalid."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation engine reaches an inconsistent state.
+
+    This includes exceeding the configured safety horizon, observing a
+    negative remaining chunk size, or a policy returning a set of
+    transmissions that is not a matching.
+    """
+
+
+class DispatchError(SimulationError):
+    """Raised when a dispatcher produces an invalid assignment."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when a scheduler produces an invalid (non-matching) schedule."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the LP / dual-fitting analysis machinery."""
+
+
+class LPError(AnalysisError):
+    """Raised when a linear program cannot be constructed or solved."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness (bad configuration, missing data)."""

@@ -1,0 +1,53 @@
+"""Experiment harness: instance catalogues, comparisons, sweeps and reports."""
+
+from repro.experiments.comparison import (
+    PolicyComparisonRow,
+    compare_policies_on_instance,
+    compare_policies_on_suite,
+    format_comparison_table,
+    run_policy,
+)
+from repro.experiments.generators import (
+    crossbar_instance,
+    hybrid_instance,
+    small_lp_instances,
+    standard_projector_instances,
+)
+from repro.experiments.report import rows_to_csv, rows_to_table, write_csv
+from repro.experiments.sweeps import (
+    CompetitiveRatioRow,
+    DelaySweepRow,
+    HybridSweepRow,
+    SpeedupRow,
+    TierSweepRow,
+    competitive_ratio_sweep,
+    delay_heterogeneity_sweep,
+    hybrid_fixed_link_sweep,
+    speedup_sweep,
+    two_tier_sweep,
+)
+
+__all__ = [
+    "run_policy",
+    "compare_policies_on_instance",
+    "compare_policies_on_suite",
+    "format_comparison_table",
+    "PolicyComparisonRow",
+    "standard_projector_instances",
+    "small_lp_instances",
+    "crossbar_instance",
+    "hybrid_instance",
+    "rows_to_table",
+    "rows_to_csv",
+    "write_csv",
+    "competitive_ratio_sweep",
+    "speedup_sweep",
+    "delay_heterogeneity_sweep",
+    "hybrid_fixed_link_sweep",
+    "two_tier_sweep",
+    "CompetitiveRatioRow",
+    "SpeedupRow",
+    "DelaySweepRow",
+    "HybridSweepRow",
+    "TierSweepRow",
+]

@@ -1,0 +1,126 @@
+"""Policy-comparison experiments (E7, E10 and the ablations).
+
+The functions here run several policies on the *same* instance (or instance
+suite) through the shared simulation engine and tabulate the paper's
+objective — total weighted fractional latency — together with normalised
+ratios, so "who wins and by how much" is immediately visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.algorithm import OpportunisticLinkScheduler
+from repro.core.interfaces import Policy
+from repro.simulation.engine import simulate
+from repro.simulation.results import SimulationResult
+from repro.utils.tables import format_table
+from repro.workloads.base import Instance
+
+__all__ = ["PolicyComparisonRow", "run_policy", "compare_policies_on_instance", "compare_policies_on_suite"]
+
+
+@dataclass(frozen=True)
+class PolicyComparisonRow:
+    """One (instance, policy) outcome in a comparison experiment."""
+
+    instance: str
+    policy: str
+    total_weighted_latency: float
+    ratio_to_alg: float
+    num_slots: int
+    fixed_link_fraction: float
+
+    def as_tuple(self) -> tuple:
+        """Row tuple in the column order used by :func:`format_comparison_table`."""
+        return (
+            self.instance,
+            self.policy,
+            self.total_weighted_latency,
+            self.ratio_to_alg,
+            self.num_slots,
+            self.fixed_link_fraction,
+        )
+
+
+def run_policy(
+    instance: Instance,
+    policy: Policy,
+    speed: float = 1.0,
+    max_slots: int = 1_000_000,
+) -> SimulationResult:
+    """Run one policy on one instance and return the raw simulation result."""
+    return simulate(
+        instance.topology, policy, instance.packets, speed=speed, max_slots=max_slots
+    )
+
+
+def compare_policies_on_instance(
+    instance: Instance,
+    policies: Optional[Mapping[str, Policy]] = None,
+    speed: float = 1.0,
+    max_slots: int = 1_000_000,
+) -> List[PolicyComparisonRow]:
+    """Run every policy on ``instance`` and normalise costs to the paper's ALG.
+
+    ``policies`` defaults to ``{"alg": OpportunisticLinkScheduler()}``; when a
+    policy named ``"alg"`` is present its cost is the normalisation baseline,
+    otherwise the smallest cost is used.
+    """
+    policies = dict(policies) if policies else {"alg": OpportunisticLinkScheduler()}
+    results: Dict[str, SimulationResult] = {}
+    for name, policy in policies.items():
+        results[name] = run_policy(instance, policy, speed=speed, max_slots=max_slots)
+
+    if "alg" in results:
+        baseline = results["alg"].total_weighted_latency
+    else:
+        baseline = min(r.total_weighted_latency for r in results.values())
+
+    rows: List[PolicyComparisonRow] = []
+    for name, result in results.items():
+        cost = result.total_weighted_latency
+        rows.append(
+            PolicyComparisonRow(
+                instance=instance.name,
+                policy=name,
+                total_weighted_latency=cost,
+                ratio_to_alg=cost / baseline if baseline > 0 else float("nan"),
+                num_slots=result.num_slots,
+                fixed_link_fraction=result.fixed_link_fraction,
+            )
+        )
+    rows.sort(key=lambda row: row.total_weighted_latency)
+    return rows
+
+
+def compare_policies_on_suite(
+    instances: Mapping[str, Instance],
+    policies: Mapping[str, Policy],
+    speed: float = 1.0,
+    max_slots: int = 1_000_000,
+) -> List[PolicyComparisonRow]:
+    """Run the full cross-product of instances × policies."""
+    rows: List[PolicyComparisonRow] = []
+    for instance in instances.values():
+        rows.extend(
+            compare_policies_on_instance(instance, policies, speed=speed, max_slots=max_slots)
+        )
+    return rows
+
+
+def format_comparison_table(rows: Sequence[PolicyComparisonRow], title: str = "") -> str:
+    """Render comparison rows as an ASCII table."""
+    return format_table(
+        headers=[
+            "instance",
+            "policy",
+            "total_weighted_latency",
+            "ratio_to_alg",
+            "slots",
+            "fixed_link_frac",
+        ],
+        rows=[row.as_tuple() for row in rows],
+        title=title,
+    )

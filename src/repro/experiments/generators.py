@@ -1,0 +1,223 @@
+"""Standard experiment instances.
+
+The benchmarks and examples share a small catalogue of named instances so
+that numbers reported in EXPERIMENTS.md are reproducible from a single seed:
+ProjecToR-style fabrics loaded with the uniform / skewed / bursty / incast
+patterns the paper's introduction motivates, plus small random hybrid
+topologies used for the LP-based experiments where instance size matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.network.builders import (
+    add_uniform_fixed_links,
+    projector_fabric,
+    random_bipartite,
+    single_tier_crossbar,
+)
+from repro.utils.rng import SeedSequenceFactory
+from repro.workloads.base import Instance
+from repro.workloads.bursty import bursty_workload, incast_workload
+from repro.workloads.skewed import elephant_mice_workload, zipf_workload
+from repro.workloads.synthetic import hotspot_workload, uniform_random_workload
+from repro.workloads.weights import pareto_weights, uniform_weights
+
+__all__ = [
+    "standard_projector_instances",
+    "small_lp_instances",
+    "crossbar_instance",
+    "hybrid_instance",
+]
+
+
+def standard_projector_instances(
+    num_racks: int = 8,
+    lasers_per_rack: int = 2,
+    num_packets: int = 200,
+    seed: int = 2021,
+) -> Dict[str, Instance]:
+    """The E7 workload suite on a ProjecToR-style fabric.
+
+    Returns instances named ``uniform``, ``zipf``, ``elephant-mice``,
+    ``hotspot``, ``bursty`` and ``incast``.
+    """
+    seeds = SeedSequenceFactory(seed)
+    topo = projector_fabric(
+        num_racks=num_racks,
+        lasers_per_rack=lasers_per_rack,
+        photodetectors_per_rack=lasers_per_rack,
+        seed=seeds.integer_seed("topology"),
+    )
+    instances = {
+        "uniform": Instance(
+            name="uniform",
+            topology=topo,
+            packets=uniform_random_workload(
+                topo,
+                num_packets,
+                weight_sampler=uniform_weights(1, 10),
+                arrival_rate=2.0,
+                seed=seeds.integer_seed("uniform"),
+            ),
+            metadata={"pattern": "uniform", "num_racks": num_racks},
+        ),
+        "zipf": Instance(
+            name="zipf",
+            topology=topo,
+            packets=zipf_workload(
+                topo,
+                num_packets,
+                exponent=1.2,
+                weight_sampler=pareto_weights(1.5),
+                arrival_rate=2.0,
+                seed=seeds.integer_seed("zipf"),
+            ),
+            metadata={"pattern": "zipf", "exponent": 1.2},
+        ),
+        "elephant-mice": Instance(
+            name="elephant-mice",
+            topology=topo,
+            packets=elephant_mice_workload(
+                topo,
+                num_packets,
+                arrival_rate=2.0,
+                seed=seeds.integer_seed("elephant"),
+            ),
+            metadata={"pattern": "elephant-mice"},
+        ),
+        "hotspot": Instance(
+            name="hotspot",
+            topology=topo,
+            packets=hotspot_workload(
+                topo,
+                num_packets,
+                num_hotspots=2,
+                hotspot_fraction=0.6,
+                weight_sampler=uniform_weights(1, 10),
+                arrival_rate=2.0,
+                seed=seeds.integer_seed("hotspot"),
+            ),
+            metadata={"pattern": "hotspot"},
+        ),
+        "bursty": Instance(
+            name="bursty",
+            topology=topo,
+            packets=bursty_workload(
+                topo,
+                num_packets,
+                on_rate=4.0,
+                weight_sampler=uniform_weights(1, 10),
+                seed=seeds.integer_seed("bursty"),
+            ),
+            metadata={"pattern": "bursty"},
+        ),
+        "incast": Instance(
+            name="incast",
+            topology=topo,
+            packets=incast_workload(
+                topo,
+                num_senders=num_racks - 1,
+                packets_per_sender=max(2, num_packets // (4 * max(num_racks - 1, 1))),
+                weight_sampler=uniform_weights(1, 10),
+                seed=seeds.integer_seed("incast"),
+            ),
+            metadata={"pattern": "incast"},
+        ),
+    }
+    for instance in instances.values():
+        instance.validate()
+    return instances
+
+
+def small_lp_instances(
+    num_instances: int = 3,
+    num_sources: int = 3,
+    num_destinations: int = 3,
+    num_packets: int = 10,
+    delay_choices: Sequence[int] = (1, 2),
+    seed: int = 7,
+) -> Dict[str, Instance]:
+    """Small random hybrid instances sized for the exact LP lower bound (E3–E5)."""
+    seeds = SeedSequenceFactory(seed)
+    instances: Dict[str, Instance] = {}
+    for i in range(num_instances):
+        topo = random_bipartite(
+            num_sources,
+            num_destinations,
+            transmitters_per_source=2,
+            receivers_per_destination=2,
+            edge_probability=0.6,
+            delay_choices=delay_choices,
+            seed=seeds.integer_seed("topo", i),
+        )
+        topo = add_uniform_fixed_links(topo, delay=6)
+        name = f"lp-small-{i}"
+        instances[name] = Instance(
+            name=name,
+            topology=topo,
+            packets=uniform_random_workload(
+                topo,
+                num_packets,
+                weight_sampler=uniform_weights(1, 5),
+                arrival_rate=1.5,
+                seed=seeds.integer_seed("packets", i),
+            ),
+            metadata={"kind": "lp-small", "index": i},
+        )
+        instances[name].validate()
+    return instances
+
+
+def crossbar_instance(
+    num_ports: int = 8, num_packets: int = 200, seed: int = 11, name: str = "crossbar"
+) -> Instance:
+    """A classic single-tier crossbar instance (the Section V comparison point)."""
+    topo = single_tier_crossbar(num_ports)
+    seeds = SeedSequenceFactory(seed)
+    return Instance(
+        name=name,
+        topology=topo,
+        packets=uniform_random_workload(
+            topo,
+            num_packets,
+            weight_sampler=uniform_weights(1, 10),
+            arrival_rate=float(num_ports) / 2.0,
+            seed=seeds.integer_seed("packets"),
+        ),
+        metadata={"kind": "crossbar", "ports": num_ports},
+    )
+
+
+def hybrid_instance(
+    num_racks: int = 6,
+    num_packets: int = 150,
+    fixed_link_delay: int = 4,
+    seed: int = 13,
+    name: Optional[str] = None,
+) -> Instance:
+    """A ProjecToR fabric augmented with uniform fixed links (experiment E9)."""
+    seeds = SeedSequenceFactory(seed)
+    topo = projector_fabric(
+        num_racks=num_racks, lasers_per_rack=2, photodetectors_per_rack=2,
+        seed=seeds.integer_seed("topology"),
+    )
+    topo = add_uniform_fixed_links(
+        topo,
+        delay=fixed_link_delay,
+        pair_filter=lambda s, d: s.split(":")[0] != d.split(":")[0],
+    )
+    return Instance(
+        name=name or f"hybrid-dl{fixed_link_delay}",
+        topology=topo,
+        packets=zipf_workload(
+            topo,
+            num_packets,
+            exponent=1.1,
+            weight_sampler=uniform_weights(1, 10),
+            arrival_rate=2.0,
+            seed=seeds.integer_seed("packets"),
+        ),
+        metadata={"kind": "hybrid", "fixed_link_delay": fixed_link_delay},
+    )

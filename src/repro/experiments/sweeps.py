@@ -1,0 +1,291 @@
+"""Parameter sweeps for experiments E5, E6, E8, E9 and E10.
+
+Every sweep returns a list of plain dataclass rows (one per swept point) so
+the benchmark harness can both assert on the qualitative shape (who wins,
+monotonicity, bound satisfaction) and print the series that would appear as a
+figure in a systems paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.competitive import evaluate_competitive_ratio
+from repro.analysis.lp import solve_lp_lower_bound
+from repro.core.algorithm import OpportunisticLinkScheduler, theoretical_competitive_ratio
+from repro.core.interfaces import Policy
+from repro.experiments.comparison import run_policy
+from repro.network.builders import add_uniform_fixed_links, projector_fabric, random_bipartite
+from repro.utils.rng import SeedSequenceFactory
+from repro.workloads.base import Instance
+from repro.workloads.skewed import zipf_workload
+from repro.workloads.synthetic import uniform_random_workload
+from repro.workloads.weights import uniform_weights
+
+__all__ = [
+    "CompetitiveRatioRow",
+    "SpeedupRow",
+    "DelaySweepRow",
+    "HybridSweepRow",
+    "TierSweepRow",
+    "competitive_ratio_sweep",
+    "speedup_sweep",
+    "delay_heterogeneity_sweep",
+    "hybrid_fixed_link_sweep",
+    "two_tier_sweep",
+]
+
+
+# ---------------------------------------------------------------------- #
+# E5 — competitive ratio vs ε
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CompetitiveRatioRow:
+    """One (instance, ε) point of the competitive-ratio experiment."""
+
+    instance: str
+    epsilon: float
+    algorithm_cost: float
+    lower_bound: float
+    empirical_ratio: float
+    theoretical_bound: float
+    within_bound: bool
+
+
+def competitive_ratio_sweep(
+    instances: Mapping[str, Instance],
+    epsilons: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    use_lp: bool = True,
+) -> List[CompetitiveRatioRow]:
+    """Measure ALG's empirical competitive ratio for several ε on several instances."""
+    rows: List[CompetitiveRatioRow] = []
+    for instance in instances.values():
+        for epsilon in epsilons:
+            report = evaluate_competitive_ratio(instance, epsilon, use_lp=use_lp)
+            rows.append(
+                CompetitiveRatioRow(
+                    instance=instance.name,
+                    epsilon=epsilon,
+                    algorithm_cost=report.algorithm_cost,
+                    lower_bound=report.best_lower_bound,
+                    empirical_ratio=report.empirical_ratio,
+                    theoretical_bound=report.theoretical_bound,
+                    within_bound=report.within_bound,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E6 — speedup sensitivity
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SpeedupRow:
+    """ALG's cost at one speed, normalised by the unaugmented LP lower bound."""
+
+    instance: str
+    speed: float
+    algorithm_cost: float
+    lp_lower_bound: float
+    ratio: float
+
+
+def speedup_sweep(
+    instance: Instance,
+    speeds: Sequence[float] = (1.0, 1.5, 2.0, 2.5, 3.0),
+    policy: Optional[Policy] = None,
+    lp_horizon: Optional[int] = None,
+) -> List[SpeedupRow]:
+    """Run ALG at several speeds against the speed-1 LP lower bound.
+
+    The gap at speed 1 versus higher speeds illustrates why resource
+    augmentation is needed (Section I / Dinitz et al.).
+    """
+    lp_value = solve_lp_lower_bound(
+        instance, capacity=1.0, horizon=lp_horizon, objective="fractional"
+    ).objective_value
+    rows: List[SpeedupRow] = []
+    for speed in speeds:
+        result = run_policy(instance, policy or OpportunisticLinkScheduler(), speed=speed)
+        cost = result.total_weighted_latency
+        rows.append(
+            SpeedupRow(
+                instance=instance.name,
+                speed=speed,
+                algorithm_cost=cost,
+                lp_lower_bound=lp_value,
+                ratio=cost / lp_value if lp_value > 0 else float("inf"),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E8 — heterogeneous edge delays
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DelaySweepRow:
+    """Outcome of one (delay pool, policy) combination."""
+
+    delay_pool: str
+    policy: str
+    total_weighted_latency: float
+    mean_completion_time: float
+
+
+def delay_heterogeneity_sweep(
+    policies: Mapping[str, Policy],
+    delay_pools: Sequence[Sequence[int]] = ((1,), (1, 2), (1, 2, 4), (2, 4, 8)),
+    num_sources: int = 4,
+    num_destinations: int = 4,
+    num_packets: int = 120,
+    seed: int = 5,
+) -> List[DelaySweepRow]:
+    """Compare policies as the reconfigurable-edge delay distribution widens (E8)."""
+    seeds = SeedSequenceFactory(seed)
+    rows: List[DelaySweepRow] = []
+    for pool in delay_pools:
+        topo = random_bipartite(
+            num_sources,
+            num_destinations,
+            transmitters_per_source=2,
+            receivers_per_destination=2,
+            edge_probability=0.7,
+            delay_choices=pool,
+            seed=seeds.integer_seed("topo", tuple(pool)),
+        )
+        packets = uniform_random_workload(
+            topo,
+            num_packets,
+            weight_sampler=uniform_weights(1, 10),
+            arrival_rate=2.0,
+            seed=seeds.integer_seed("packets", tuple(pool)),
+        )
+        instance = Instance(name=f"delays-{'-'.join(map(str, pool))}", topology=topo, packets=packets)
+        for name, policy in policies.items():
+            result = run_policy(instance, policy)
+            completion = result.flow_completion_times()
+            rows.append(
+                DelaySweepRow(
+                    delay_pool="/".join(map(str, pool)),
+                    policy=name,
+                    total_weighted_latency=result.total_weighted_latency,
+                    mean_completion_time=sum(completion) / len(completion),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E9 — hybrid topologies
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class HybridSweepRow:
+    """Outcome of ALG on a hybrid fabric for one fixed-link delay."""
+
+    fixed_link_delay: int
+    total_weighted_latency: float
+    fixed_link_fraction: float
+    reconfigurable_fraction: float
+
+
+def hybrid_fixed_link_sweep(
+    fixed_link_delays: Sequence[int] = (1, 2, 4, 8, 16),
+    num_racks: int = 6,
+    num_packets: int = 150,
+    seed: int = 17,
+) -> List[HybridSweepRow]:
+    """Sweep the fixed-link delay of a hybrid fabric and measure ALG's offload split (E9).
+
+    Fast fixed links should absorb most traffic; slow ones should push ALG to
+    use the reconfigurable network.
+    """
+    seeds = SeedSequenceFactory(seed)
+    base = projector_fabric(
+        num_racks=num_racks,
+        lasers_per_rack=2,
+        photodetectors_per_rack=2,
+        seed=seeds.integer_seed("topology"),
+    )
+    packets_seed = seeds.integer_seed("packets")
+    rows: List[HybridSweepRow] = []
+    for delay in fixed_link_delays:
+        topo = add_uniform_fixed_links(
+            base, delay=delay, pair_filter=lambda s, d: s.split(":")[0] != d.split(":")[0]
+        )
+        packets = zipf_workload(
+            topo,
+            num_packets,
+            exponent=1.1,
+            weight_sampler=uniform_weights(1, 10),
+            arrival_rate=2.0,
+            seed=packets_seed,
+        )
+        instance = Instance(name=f"hybrid-dl{delay}", topology=topo, packets=packets)
+        result = run_policy(instance, OpportunisticLinkScheduler())
+        rows.append(
+            HybridSweepRow(
+                fixed_link_delay=delay,
+                total_weighted_latency=result.total_weighted_latency,
+                fixed_link_fraction=result.fixed_link_fraction,
+                reconfigurable_fraction=1.0 - result.fixed_link_fraction,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E10 — two-tier vs single-tier
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TierSweepRow:
+    """Outcome of ALG for one per-rack transmitter/receiver count."""
+
+    lasers_per_rack: int
+    total_weighted_latency: float
+    mean_matching_size: float
+    num_slots: int
+
+
+def two_tier_sweep(
+    lasers_per_rack: Sequence[int] = (1, 2, 3, 4),
+    num_racks: int = 6,
+    num_packets: int = 150,
+    seed: int = 23,
+) -> List[TierSweepRow]:
+    """Vary the number of lasers/photodetectors per rack (E10).
+
+    One laser per rack degenerates to the classic single-tier crossbar model;
+    more opportunistic links per rack should reduce the total weighted
+    latency on skewed traffic.
+    """
+    seeds = SeedSequenceFactory(seed)
+    rows: List[TierSweepRow] = []
+    for lasers in lasers_per_rack:
+        topo = projector_fabric(
+            num_racks=num_racks,
+            lasers_per_rack=lasers,
+            photodetectors_per_rack=lasers,
+            seed=seeds.integer_seed("topology", lasers),
+        )
+        packets = zipf_workload(
+            topo,
+            num_packets,
+            exponent=1.2,
+            weight_sampler=uniform_weights(1, 10),
+            arrival_rate=3.0,
+            seed=seeds.integer_seed("packets"),
+        )
+        instance = Instance(name=f"tiers-{lasers}", topology=topo, packets=packets)
+        result = run_policy(instance, OpportunisticLinkScheduler())
+        sizes = result.matching_sizes
+        rows.append(
+            TierSweepRow(
+                lasers_per_rack=lasers,
+                total_weighted_latency=result.total_weighted_latency,
+                mean_matching_size=sum(sizes) / len(sizes) if sizes else 0.0,
+                num_slots=result.num_slots,
+            )
+        )
+    return rows

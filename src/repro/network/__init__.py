@@ -1,0 +1,43 @@
+"""Two-tier hybrid network topologies (the paper's Section II substrate).
+
+Public surface:
+
+* :class:`~repro.network.topology.TwoTierTopology` — the four-layer graph
+  ``G = (S ∪ T ∪ R ∪ D, E, d)`` with reconfigurable transmitter–receiver
+  edges and optional fixed source–destination links.
+* Builders for crossbars, ProjecToR-style fabrics, random bipartite
+  topologies, hybrid extensions, and the paper's Figure 1 / Figure 2 graphs.
+* JSON serialization helpers.
+"""
+
+from repro.network.builders import (
+    add_uniform_fixed_links,
+    figure1_topology,
+    figure2_topology,
+    projector_fabric,
+    random_bipartite,
+    single_tier_crossbar,
+)
+from repro.network.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.network.topology import Edge, EdgeView, TwoTierTopology
+
+__all__ = [
+    "TwoTierTopology",
+    "Edge",
+    "EdgeView",
+    "single_tier_crossbar",
+    "projector_fabric",
+    "random_bipartite",
+    "add_uniform_fixed_links",
+    "figure1_topology",
+    "figure2_topology",
+    "topology_to_dict",
+    "topology_from_dict",
+    "save_topology",
+    "load_topology",
+]

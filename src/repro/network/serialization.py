@@ -1,0 +1,99 @@
+"""Serialization of topologies to and from plain dictionaries / JSON files.
+
+The dictionary format is stable and versioned so topologies used in
+experiments can be stored alongside results and reloaded later.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import TopologyError
+from repro.network.topology import TwoTierTopology
+
+__all__ = ["topology_to_dict", "topology_from_dict", "save_topology", "load_topology"]
+
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: TwoTierTopology) -> Dict[str, Any]:
+    """Serialise ``topology`` into a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": topology.name,
+        "sources": list(topology.sources),
+        "destinations": list(topology.destinations),
+        "transmitters": [
+            {
+                "name": t,
+                "source": topology.source_of(t),
+                "head_delay": topology.head_delay(t),
+            }
+            for t in topology.transmitters
+        ],
+        "receivers": [
+            {
+                "name": r,
+                "destination": topology.destination_of(r),
+                "tail_delay": topology.tail_delay(r),
+            }
+            for r in topology.receivers
+        ],
+        "reconfigurable_edges": [
+            {"transmitter": t, "receiver": r, "delay": topology.edge_delay(t, r)}
+            for (t, r) in topology.reconfigurable_edges
+        ],
+        "fixed_links": [
+            {"source": s, "destination": d, "delay": delay}
+            for (s, d), delay in topology.fixed_links.items()
+        ],
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> TwoTierTopology:
+    """Rebuild a frozen :class:`TwoTierTopology` from :func:`topology_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {version!r}; expected {FORMAT_VERSION}"
+        )
+    try:
+        topo = TwoTierTopology(name=data.get("name", "two-tier"))
+        for s in data["sources"]:
+            topo.add_source(s)
+        for d in data["destinations"]:
+            topo.add_destination(d)
+        for t in data["transmitters"]:
+            topo.add_transmitter(t["name"], t["source"], head_delay=int(t.get("head_delay", 0)))
+        for r in data["receivers"]:
+            topo.add_receiver(
+                r["name"], r["destination"], tail_delay=int(r.get("tail_delay", 0))
+            )
+        for e in data["reconfigurable_edges"]:
+            topo.add_reconfigurable_edge(
+                e["transmitter"], e["receiver"], delay=int(e["delay"])
+            )
+        for link in data["fixed_links"]:
+            topo.add_fixed_link(link["source"], link["destination"], delay=int(link["delay"]))
+    except KeyError as exc:
+        raise TopologyError(f"missing field in topology dictionary: {exc}") from exc
+    return topo.freeze()
+
+
+def save_topology(topology: TwoTierTopology, path: Union[str, Path]) -> Path:
+    """Write ``topology`` to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(topology_to_dict(topology), indent=2, sort_keys=True))
+    return path
+
+
+def load_topology(path: Union[str, Path]) -> TwoTierTopology:
+    """Load a topology previously written by :func:`save_topology`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"file {path} is not valid JSON: {exc}") from exc
+    return topology_from_dict(data)

@@ -1,0 +1,38 @@
+"""Time-slotted simulation of two-tier reconfigurable datacenter fabrics."""
+
+from repro.simulation.engine import EngineConfig, SimulationEngine, simulate
+from repro.simulation.metrics import (
+    LatencyStatistics,
+    compare_policies,
+    completion_time_statistics,
+    latency_statistics,
+    matching_occupancy,
+    per_source_latency,
+    recompute_weighted_latency,
+)
+from repro.simulation.results import PacketRecord, SimulationResult
+from repro.simulation.trace import (
+    DispatchEvent,
+    SimulationTrace,
+    SlotTrace,
+    TransmissionEvent,
+)
+
+__all__ = [
+    "EngineConfig",
+    "SimulationEngine",
+    "simulate",
+    "SimulationResult",
+    "PacketRecord",
+    "SimulationTrace",
+    "SlotTrace",
+    "DispatchEvent",
+    "TransmissionEvent",
+    "LatencyStatistics",
+    "latency_statistics",
+    "completion_time_statistics",
+    "matching_occupancy",
+    "recompute_weighted_latency",
+    "per_source_latency",
+    "compare_policies",
+]

@@ -1,0 +1,168 @@
+"""Result containers produced by the simulation engine.
+
+A :class:`SimulationResult` records, for every packet, the dispatcher's
+assignment (and hence the dual variable ``α_p``), the packet's completion
+time and its weighted fractional latency, plus per-slot aggregates (matching
+sizes) and an optional full event trace.  The analysis package reconstructs
+the dual ``β`` variables from the chunk objects referenced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.packet import Assignment, Chunk, Packet
+from repro.simulation.trace import SimulationTrace
+
+__all__ = ["PacketRecord", "SimulationResult"]
+
+
+@dataclass
+class PacketRecord:
+    """Per-packet outcome of a simulation run.
+
+    Attributes
+    ----------
+    packet:
+        The packet.
+    assignment:
+        The dispatcher's decision (fixed link or reconfigurable edge with its
+        chunks).
+    completion_time:
+        Time at which the *last* fraction of the packet reached the
+        destination (``None`` while undelivered).
+    weighted_latency:
+        Total weighted fractional latency accumulated by the packet,
+        ``Σ x · w_p · (delivery_time(x) − a_p)`` over delivered fractions.
+    """
+
+    packet: Packet
+    assignment: Assignment
+    completion_time: Optional[float] = None
+    weighted_latency: float = 0.0
+
+    @property
+    def alpha(self) -> float:
+        """The dual variable ``α_p`` (the dispatcher's recorded impact)."""
+        return self.assignment.impact
+
+    @property
+    def used_fixed_link(self) -> bool:
+        """Whether the packet was sent over the direct fixed link."""
+        return self.assignment.uses_fixed_link
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet has fully reached its destination."""
+        return self.completion_time is not None
+
+    @property
+    def flow_completion_time(self) -> float:
+        """Unweighted completion latency ``completion_time − a_p``."""
+        if self.completion_time is None:
+            raise ValueError(f"packet {self.packet.packet_id} has not completed")
+        return self.completion_time - self.packet.arrival
+
+    @property
+    def chunks(self) -> List[Chunk]:
+        """The packet's chunks (empty for fixed-link packets)."""
+        if self.assignment.uses_fixed_link:
+            return []
+        return list(self.assignment.chunks)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run of a policy on an instance."""
+
+    policy_name: str
+    topology_name: str
+    speed: float
+    records: Dict[int, PacketRecord] = field(default_factory=dict)
+    first_slot: int = 0
+    last_slot: int = 0
+    matching_sizes: List[int] = field(default_factory=list)
+    trace: Optional[SimulationTrace] = None
+
+    # ------------------------------------------------------------------ #
+    # aggregate accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self.records.values())
+
+    def record(self, packet_id: int) -> PacketRecord:
+        """The :class:`PacketRecord` of packet ``packet_id``."""
+        return self.records[packet_id]
+
+    @property
+    def packets(self) -> List[Packet]:
+        """All packets of the run, in packet-id order."""
+        return [self.records[pid].packet for pid in sorted(self.records)]
+
+    @property
+    def all_delivered(self) -> bool:
+        """Whether every packet completed within the simulated horizon."""
+        return all(rec.delivered for rec in self.records.values())
+
+    @property
+    def total_weighted_latency(self) -> float:
+        """The objective value: total weighted fractional latency of the run."""
+        return sum(rec.weighted_latency for rec in self.records.values())
+
+    @property
+    def total_alpha(self) -> float:
+        """Sum of the dual variables ``α_p`` recorded at dispatch time."""
+        return sum(rec.alpha for rec in self.records.values())
+
+    @property
+    def num_slots(self) -> int:
+        """Number of transmission slots simulated."""
+        return max(0, self.last_slot - self.first_slot + 1) if self.records else 0
+
+    @property
+    def num_fixed_link_packets(self) -> int:
+        """Number of packets routed over the fixed network."""
+        return sum(1 for rec in self.records.values() if rec.used_fixed_link)
+
+    @property
+    def fixed_link_fraction(self) -> float:
+        """Fraction of packets routed over the fixed network."""
+        if not self.records:
+            return 0.0
+        return self.num_fixed_link_packets / len(self.records)
+
+    def weighted_latencies(self) -> List[float]:
+        """Per-packet weighted latencies, in packet-id order."""
+        return [self.records[pid].weighted_latency for pid in sorted(self.records)]
+
+    def flow_completion_times(self) -> List[float]:
+        """Per-packet completion latencies, in packet-id order."""
+        return [self.records[pid].flow_completion_time for pid in sorted(self.records)]
+
+    def chunk_records(self) -> List[Chunk]:
+        """All chunks of all reconfigurable-routed packets."""
+        chunks: List[Chunk] = []
+        for rec in self.records.values():
+            chunks.extend(rec.chunks)
+        return chunks
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary used by the experiment harness."""
+        total = self.total_weighted_latency
+        n = len(self.records)
+        return {
+            "num_packets": float(n),
+            "total_weighted_latency": total,
+            "mean_weighted_latency": total / n if n else 0.0,
+            "num_slots": float(self.num_slots),
+            "fixed_link_fraction": self.fixed_link_fraction,
+            "mean_matching_size": (
+                sum(self.matching_sizes) / len(self.matching_sizes)
+                if self.matching_sizes
+                else 0.0
+            ),
+        }

@@ -1,0 +1,92 @@
+"""Optional per-slot event traces of a simulation run.
+
+Traces are primarily a debugging and teaching aid (the quickstart example
+prints one) and are also used by a handful of tests that assert slot-by-slot
+behaviour on the paper's worked examples.  Recording is off by default since
+traces grow linearly with (slots × transmissions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["DispatchEvent", "TransmissionEvent", "SlotTrace", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class DispatchEvent:
+    """One dispatcher decision: packet → fixed link or reconfigurable edge."""
+
+    packet_id: int
+    used_fixed_link: bool
+    edge: Optional[Tuple[str, str]]
+    impact: float
+
+
+@dataclass(frozen=True)
+class TransmissionEvent:
+    """A (possibly fractional) chunk transmission during one slot."""
+
+    packet_id: int
+    chunk_index: int
+    edge: Tuple[str, str]
+    amount: float
+    completed: bool
+
+
+@dataclass
+class SlotTrace:
+    """Everything that happened during one transmission slot."""
+
+    slot: int
+    arrivals: List[int] = field(default_factory=list)
+    dispatches: List[DispatchEvent] = field(default_factory=list)
+    matching: List[Tuple[str, str]] = field(default_factory=list)
+    transmissions: List[TransmissionEvent] = field(default_factory=list)
+
+    @property
+    def matching_size(self) -> int:
+        """Number of edges active during the slot."""
+        return len(self.matching)
+
+
+@dataclass
+class SimulationTrace:
+    """Chronological list of per-slot traces."""
+
+    slots: List[SlotTrace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots)
+
+    def slot(self, slot: int) -> SlotTrace:
+        """Return the trace of slot ``slot`` (raises ``KeyError`` if absent)."""
+        for record in self.slots:
+            if record.slot == slot:
+                return record
+        raise KeyError(f"no trace recorded for slot {slot}")
+
+    def format(self, max_slots: Optional[int] = None) -> str:
+        """Render the trace as human-readable text."""
+        lines: List[str] = []
+        for record in self.slots[: max_slots if max_slots is not None else len(self.slots)]:
+            lines.append(f"slot {record.slot}:")
+            if record.arrivals:
+                lines.append(f"  arrivals: {record.arrivals}")
+            for ev in record.dispatches:
+                route = "fixed link" if ev.used_fixed_link else f"edge {ev.edge}"
+                lines.append(
+                    f"  dispatch p{ev.packet_id} -> {route} (impact {ev.impact:.3g})"
+                )
+            if record.matching:
+                lines.append(f"  matching: {record.matching}")
+            for ev in record.transmissions:
+                status = "done" if ev.completed else f"{ev.amount:.2f} sent"
+                lines.append(
+                    f"  transmit p{ev.packet_id}#{ev.chunk_index} on {ev.edge} ({status})"
+                )
+        return "\n".join(lines)

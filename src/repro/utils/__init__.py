@@ -1,0 +1,28 @@
+"""Small shared utilities used across the :mod:`repro` package.
+
+The submodules are intentionally dependency-free (only the standard library
+and numpy) so that they can be imported from anywhere in the package without
+risk of circular imports.
+"""
+
+from repro.utils.ordering import chunk_priority_key, packet_priority_key
+from repro.utils.rng import SeedSequenceFactory, as_rng
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "chunk_priority_key",
+    "packet_priority_key",
+    "SeedSequenceFactory",
+    "as_rng",
+    "format_table",
+    "check_finite",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+]

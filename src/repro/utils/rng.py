@@ -1,0 +1,105 @@
+"""Deterministic random-number-generation helpers.
+
+Every stochastic component in the library (workload generators, randomised
+baselines, experiment sweeps) accepts either an integer seed or a
+:class:`numpy.random.Generator`.  The helpers here normalise those inputs and
+provide reproducible child-stream derivation so that, e.g., each workload in a
+sweep gets an independent but deterministic stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["as_rng", "SeedSequenceFactory"]
+
+RngLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+
+    Examples
+    --------
+    >>> rng = as_rng(7)
+    >>> rng2 = as_rng(7)
+    >>> float(rng.random()) == float(rng2.random())
+    True
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot interpret {type(seed).__name__!r} as a random seed")
+
+
+class SeedSequenceFactory:
+    """Derive independent, reproducible child seeds from a root seed.
+
+    The factory wraps :class:`numpy.random.SeedSequence` spawning and is used
+    by the experiment harness to hand each (workload, repetition, policy)
+    combination its own stream while keeping the whole sweep reproducible from
+    a single root seed.
+
+    Examples
+    --------
+    >>> fac = SeedSequenceFactory(123)
+    >>> a = fac.generator("workload", 0)
+    >>> b = fac.generator("workload", 1)
+    >>> a is not b
+    True
+    >>> # Re-creating the factory reproduces the same streams.
+    >>> fac2 = SeedSequenceFactory(123)
+    >>> float(fac2.generator("workload", 0).random()) == float(
+    ...     SeedSequenceFactory(123).generator("workload", 0).random())
+    True
+    """
+
+    def __init__(self, root_seed: Optional[int] = None) -> None:
+        self._root_seed = root_seed
+        self._root = np.random.SeedSequence(root_seed)
+
+    @property
+    def root_seed(self) -> Optional[int]:
+        """The root integer seed this factory was created with."""
+        return self._root_seed
+
+    def _key_entropy(self, *key: object) -> list[int]:
+        # Hash the key parts into a stable list of 32-bit integers.  We avoid
+        # Python's salted ``hash`` for strings and use a simple explicit
+        # encoding instead so the derivation is stable across processes.
+        entropy: list[int] = []
+        for part in key:
+            data = repr(part).encode("utf-8")
+            acc = 2166136261
+            for byte in data:
+                acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
+            entropy.append(acc)
+        return entropy
+
+    def seed_sequence(self, *key: object) -> np.random.SeedSequence:
+        """Return a child :class:`~numpy.random.SeedSequence` for ``key``."""
+        base = [] if self._root_seed is None else [int(self._root_seed)]
+        return np.random.SeedSequence(base + self._key_entropy(*key))
+
+    def generator(self, *key: object) -> np.random.Generator:
+        """Return a child :class:`~numpy.random.Generator` for ``key``."""
+        return np.random.default_rng(self.seed_sequence(*key))
+
+    def integer_seed(self, *key: object) -> int:
+        """Return a deterministic 63-bit integer seed for ``key``."""
+        return int(self.seed_sequence(*key).generate_state(1, dtype=np.uint64)[0] >> 1)

@@ -1,0 +1,82 @@
+"""ASCII table formatting for experiment reports and benchmark output.
+
+The experiment harness prints the rows the paper-style tables would contain;
+keeping the formatter tiny and dependency-free makes benchmark output easy to
+diff and paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_csv"]
+
+
+def _cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".4g",
+    title: str = "",
+) -> str:
+    """Render ``rows`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.
+    float_format:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    header_cells = [str(h) for h in headers]
+    body = []
+    for row in rows:
+        cells = [_cell(v, float_format) for v in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(header_cells)} columns"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append(sep)
+    lines.extend(render_row(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".6g",
+) -> str:
+    """Render ``rows`` as CSV text (no quoting; values must not contain commas)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        cells = [_cell(v, float_format) for v in row]
+        if any("," in c for c in cells):
+            raise ValueError("CSV cells must not contain commas")
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Lightweight argument-validation helpers.
+
+These helpers raise ``ValueError``/``TypeError`` with consistent messages and
+are used at the public API boundary (topology construction, workload
+generation, engine configuration).  Internal hot loops do not call them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_finite",
+    "check_probability",
+]
+
+Number = Union[int, float, np.integer, np.floating]
+
+
+def _name(label: str) -> str:
+    return label if label else "value"
+
+
+def check_finite(value: Number, label: str = "") -> float:
+    """Return ``value`` as a float, raising if it is NaN or infinite."""
+    out = float(value)
+    if not math.isfinite(out):
+        raise ValueError(f"{_name(label)} must be finite, got {value!r}")
+    return out
+
+
+def check_positive(value: Number, label: str = "") -> float:
+    """Return ``value`` as a float, raising unless it is strictly positive."""
+    out = check_finite(value, label)
+    if out <= 0:
+        raise ValueError(f"{_name(label)} must be > 0, got {value!r}")
+    return out
+
+
+def check_non_negative(value: Number, label: str = "") -> float:
+    """Return ``value`` as a float, raising if it is negative."""
+    out = check_finite(value, label)
+    if out < 0:
+        raise ValueError(f"{_name(label)} must be >= 0, got {value!r}")
+    return out
+
+
+def check_positive_int(value: Number, label: str = "") -> int:
+    """Return ``value`` as an int, raising unless it is a positive integer."""
+    if isinstance(value, bool):
+        raise TypeError(f"{_name(label)} must be an integer, got bool")
+    if isinstance(value, float) and not value.is_integer():
+        raise ValueError(f"{_name(label)} must be an integer, got {value!r}")
+    out = int(value)
+    if out <= 0:
+        raise ValueError(f"{_name(label)} must be a positive integer, got {value!r}")
+    return out
+
+
+def check_probability(value: Number, label: str = "") -> float:
+    """Return ``value`` as a float in ``[0, 1]``."""
+    out = check_finite(value, label)
+    if not 0.0 <= out <= 1.0:
+        raise ValueError(f"{_name(label)} must lie in [0, 1], got {value!r}")
+    return out

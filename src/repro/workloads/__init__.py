@@ -1,0 +1,77 @@
+"""Online packet workloads: synthetic generators, traces and the paper's examples."""
+
+from repro.workloads.arrival import (
+    batch_arrivals,
+    deterministic_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+)
+from repro.workloads.base import (
+    Instance,
+    PacketSpec,
+    build_packets,
+    normalize_arrival,
+    routable_pairs,
+)
+from repro.workloads.bursty import bursty_workload, incast_workload
+from repro.workloads.paper_figures import (
+    figure1_instance,
+    figure1_packets,
+    figure1_reported_costs,
+    figure2_instances,
+    figure2_packets_pi,
+    figure2_packets_pi_prime,
+    figure2_reported_impacts,
+)
+from repro.workloads.skewed import (
+    elephant_mice_workload,
+    zipf_pair_probabilities,
+    zipf_workload,
+)
+from repro.workloads.synthetic import (
+    all_to_all_workload,
+    hotspot_workload,
+    permutation_workload,
+    uniform_random_workload,
+)
+from repro.workloads.trace_io import read_packet_trace, write_packet_trace
+from repro.workloads.weights import (
+    bimodal_weights,
+    constant_weights,
+    pareto_weights,
+    uniform_weights,
+)
+
+__all__ = [
+    "Instance",
+    "PacketSpec",
+    "build_packets",
+    "normalize_arrival",
+    "routable_pairs",
+    "poisson_arrivals",
+    "deterministic_arrivals",
+    "batch_arrivals",
+    "onoff_arrivals",
+    "uniform_random_workload",
+    "permutation_workload",
+    "all_to_all_workload",
+    "hotspot_workload",
+    "zipf_workload",
+    "zipf_pair_probabilities",
+    "elephant_mice_workload",
+    "bursty_workload",
+    "incast_workload",
+    "constant_weights",
+    "uniform_weights",
+    "pareto_weights",
+    "bimodal_weights",
+    "read_packet_trace",
+    "write_packet_trace",
+    "figure1_packets",
+    "figure1_instance",
+    "figure1_reported_costs",
+    "figure2_packets_pi",
+    "figure2_packets_pi_prime",
+    "figure2_instances",
+    "figure2_reported_impacts",
+]

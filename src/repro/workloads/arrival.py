@@ -1,0 +1,94 @@
+"""Arrival-process generators.
+
+All generators return a non-decreasing list of *slot* times (positive
+integers) of the requested length; they are combined with a spatial pattern
+(which pair each packet belongs to) by the workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive, check_positive_int
+from repro.workloads.base import normalize_arrival
+
+__all__ = [
+    "poisson_arrivals",
+    "deterministic_arrivals",
+    "batch_arrivals",
+    "onoff_arrivals",
+]
+
+
+def poisson_arrivals(num_packets: int, rate: float, seed: RngLike = None, start: float = 1.0) -> List[int]:
+    """Poisson arrivals with ``rate`` packets per slot, starting at ``start``.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``; the resulting
+    continuous times are ceiled to slots per the paper's model.
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    lam = check_positive(rate, "rate")
+    rng = as_rng(seed)
+    gaps = rng.exponential(1.0 / lam, size=n)
+    times = float(start) + np.cumsum(gaps) - gaps[0]
+    return [normalize_arrival(t) for t in times]
+
+
+def deterministic_arrivals(num_packets: int, interval: float = 1.0, start: int = 1) -> List[int]:
+    """Evenly spaced arrivals: packet ``i`` arrives at ``start + i · interval`` (ceiled)."""
+    n = check_positive_int(num_packets, "num_packets")
+    step = check_positive(interval, "interval")
+    if start < 1:
+        raise WorkloadError(f"start slot must be >= 1, got {start}")
+    return [normalize_arrival(start + i * step) for i in range(n)]
+
+
+def batch_arrivals(num_batches: int, batch_size: int, gap: int = 1, start: int = 1) -> List[int]:
+    """``num_batches`` bursts of ``batch_size`` simultaneous arrivals, ``gap`` slots apart."""
+    nb = check_positive_int(num_batches, "num_batches")
+    bs = check_positive_int(batch_size, "batch_size")
+    g = check_positive_int(gap, "gap")
+    if start < 1:
+        raise WorkloadError(f"start slot must be >= 1, got {start}")
+    arrivals: List[int] = []
+    for b in range(nb):
+        arrivals.extend([start + b * g] * bs)
+    return arrivals
+
+
+def onoff_arrivals(
+    num_packets: int,
+    on_rate: float = 2.0,
+    on_duration: int = 5,
+    off_duration: int = 10,
+    seed: RngLike = None,
+    start: int = 1,
+) -> List[int]:
+    """Bursty on/off arrivals: Poisson bursts separated by silent periods.
+
+    During an *on* period of ``on_duration`` slots packets arrive at
+    ``on_rate`` per slot; each on period is followed by an *off* period of
+    ``off_duration`` slots with no arrivals.  This is the microburst pattern
+    datacenter measurement studies report.
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    rate = check_positive(on_rate, "on_rate")
+    on = check_positive_int(on_duration, "on_duration")
+    off = check_positive_int(off_duration, "off_duration")
+    rng = as_rng(seed)
+
+    arrivals: List[int] = []
+    period_start = float(start)
+    while len(arrivals) < n:
+        t = period_start
+        while t < period_start + on and len(arrivals) < n:
+            t += float(rng.exponential(1.0 / rate))
+            if t < period_start + on:
+                arrivals.append(normalize_arrival(t))
+        period_start += on + off
+    arrivals.sort()
+    return arrivals[:n]

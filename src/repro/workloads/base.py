@@ -1,0 +1,165 @@
+"""Workload and instance abstractions.
+
+An :class:`Instance` bundles a topology with an online packet sequence; it is
+the unit the experiment harness, the LP lower bound and the simulation engine
+all operate on.  The helpers here also centralise the conversion of arbitrary
+arrival times to the paper's integer transmission slots and the enumeration of
+routable (source, destination) pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.packet import Packet
+from repro.exceptions import WorkloadError
+from repro.network.topology import TwoTierTopology
+
+__all__ = [
+    "Instance",
+    "PacketSpec",
+    "routable_pairs",
+    "build_packets",
+    "normalize_arrival",
+]
+
+
+def normalize_arrival(arrival: float) -> int:
+    """Map an arbitrary positive arrival time to its transmission slot.
+
+    Packets arriving in ``(τ', τ'+1]`` become available at slot ``τ'+1``
+    (Section II), i.e. the arrival is ceiled; arrivals below 1 are clamped to
+    the first slot.
+    """
+    if not math.isfinite(arrival):
+        raise WorkloadError(f"arrival time must be finite, got {arrival!r}")
+    slot = int(math.ceil(arrival))
+    return max(slot, 1)
+
+
+@dataclass(frozen=True)
+class PacketSpec:
+    """A packet description before ids are assigned (used by generators / traces)."""
+
+    source: str
+    destination: str
+    weight: float
+    arrival: float
+
+    def to_packet(self, packet_id: int) -> Packet:
+        """Materialise the spec as a :class:`~repro.core.packet.Packet`."""
+        return Packet(
+            packet_id=packet_id,
+            source=self.source,
+            destination=self.destination,
+            weight=float(self.weight),
+            arrival=normalize_arrival(self.arrival),
+        )
+
+
+def build_packets(specs: Sequence[PacketSpec]) -> List[Packet]:
+    """Assign sequential ids to ``specs`` in arrival order and return packets.
+
+    Specs are ordered by (normalised arrival slot, original position) so that
+    packet ids reflect the order in which the dispatcher will process them —
+    the tie-breaking order the paper's analysis relies on.
+    """
+    indexed = sorted(
+        enumerate(specs), key=lambda item: (normalize_arrival(item[1].arrival), item[0])
+    )
+    return [spec.to_packet(packet_id=i) for i, (_pos, spec) in enumerate(indexed)]
+
+
+def routable_pairs(topology: TwoTierTopology) -> List[Tuple[str, str]]:
+    """All (source, destination) pairs that can carry traffic on ``topology``.
+
+    A pair is routable when it has at least one candidate reconfigurable edge
+    or a fixed link.  Pairs where source and destination belong to the same
+    rack (builders name them ``rack<i>:src`` / ``rack<i>:dst``) are excluded
+    implicitly because such pairs have no edges.
+    """
+    pairs: List[Tuple[str, str]] = []
+    for s in topology.sources:
+        for d in topology.destinations:
+            if topology.can_route(s, d):
+                pairs.append((s, d))
+    return pairs
+
+
+@dataclass
+class Instance:
+    """A named (topology, packet sequence) pair.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in experiment reports.
+    topology:
+        The frozen network topology.
+    packets:
+        The online packet sequence (ids must be unique).
+    metadata:
+        Free-form generator parameters recorded for reproducibility.
+    """
+
+    name: str
+    topology: TwoTierTopology
+    packets: List[Packet]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.topology.freeze()
+        ids = [p.packet_id for p in self.packets]
+        if len(set(ids)) != len(ids):
+            raise WorkloadError(f"instance {self.name!r} has duplicate packet ids")
+
+    @property
+    def num_packets(self) -> int:
+        """Number of packets in the instance."""
+        return len(self.packets)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of packet weights."""
+        return sum(p.weight for p in self.packets)
+
+    @property
+    def max_arrival(self) -> int:
+        """Latest arrival slot (0 for an empty instance)."""
+        return max((p.arrival for p in self.packets), default=0)
+
+    def validate(self) -> None:
+        """Check that every packet can be routed on the topology."""
+        for p in self.packets:
+            if not self.topology.can_route(p.source, p.destination):
+                raise WorkloadError(
+                    f"packet {p.packet_id} ({p.source}->{p.destination}) is unroutable "
+                    f"on topology {self.topology.name!r}"
+                )
+
+    def horizon_estimate(self, speed: float = 1.0) -> int:
+        """A safe upper bound on the number of slots any work-conserving run needs.
+
+        Mirrors the paper's horizon argument: if any packet is pending, a
+        reasonable algorithm transmits at least one chunk per slot, so
+        ``max_a + |Π| · max_e d_hat(e)`` slots suffice (scaled by the inverse
+        speed for slowed-down solutions).
+        """
+        if not self.packets:
+            return 0
+        max_dhat = max(self.topology.max_path_delay(), 1)
+        max_fixed = max(self.topology.fixed_links.values(), default=0)
+        per_packet = max(max_dhat, max_fixed)
+        return int(self.max_arrival + math.ceil(self.num_packets * per_packet / speed)) + 1
+
+    def subset(self, num_packets: int, name: Optional[str] = None) -> "Instance":
+        """Return a copy containing only the first ``num_packets`` packets (by id)."""
+        chosen = sorted(self.packets, key=lambda p: p.packet_id)[:num_packets]
+        return Instance(
+            name=name or f"{self.name}[:{num_packets}]",
+            topology=self.topology,
+            packets=list(chosen),
+            metadata=dict(self.metadata),
+        )

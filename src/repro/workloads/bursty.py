@@ -1,0 +1,107 @@
+"""Bursty and incast workloads.
+
+Microbursts — many packets arriving to the same destination within a few
+slots — are the pattern under which scheduling decisions matter most, because
+receivers become the bottleneck and the choice of which transmitter serves
+which receiver each slot determines tail latency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.packet import Packet
+from repro.exceptions import WorkloadError
+from repro.network.topology import TwoTierTopology
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+from repro.workloads.arrival import onoff_arrivals
+from repro.workloads.base import PacketSpec, build_packets, routable_pairs
+from repro.workloads.weights import WeightSampler, constant_weights
+
+__all__ = ["bursty_workload", "incast_workload"]
+
+
+def bursty_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    on_rate: float = 3.0,
+    on_duration: int = 5,
+    off_duration: int = 10,
+    weight_sampler: Optional[WeightSampler] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """On/off bursts of packets over uniformly random routable pairs."""
+    n = check_positive_int(num_packets, "num_packets")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+    slots = onoff_arrivals(
+        n, on_rate=on_rate, on_duration=on_duration, off_duration=off_duration, seed=rng
+    )
+    specs = []
+    for i in range(n):
+        s, d = pairs[int(rng.integers(len(pairs)))]
+        specs.append(PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=slots[i]))
+    return build_packets(specs)
+
+
+def incast_workload(
+    topology: TwoTierTopology,
+    num_senders: int,
+    packets_per_sender: int = 1,
+    destination: Optional[str] = None,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_slot: int = 1,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Incast: many sources send to a single destination simultaneously.
+
+    Parameters
+    ----------
+    num_senders:
+        Number of distinct sources participating (capped at the number of
+        sources that can reach the destination).
+    packets_per_sender:
+        Packets each sender contributes, all arriving at ``arrival_slot``.
+    destination:
+        Target destination (default: a random destination that is reachable
+        from at least ``num_senders`` sources, or the best available).
+    """
+    ns = check_positive_int(num_senders, "num_senders")
+    k = check_positive_int(packets_per_sender, "packets_per_sender")
+    if arrival_slot < 1:
+        raise WorkloadError(f"arrival_slot must be >= 1, got {arrival_slot}")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+    senders_by_destination: dict[str, List[str]] = {}
+    for (s, d) in pairs:
+        senders_by_destination.setdefault(d, []).append(s)
+
+    if destination is None:
+        # Pick the destination with the most reachable senders (ties: random).
+        best = max(len(v) for v in senders_by_destination.values())
+        options = sorted(d for d, v in senders_by_destination.items() if len(v) == best)
+        destination = options[int(rng.integers(len(options)))]
+    if destination not in senders_by_destination:
+        raise WorkloadError(f"destination {destination!r} is unreachable from every source")
+
+    senders = list(senders_by_destination[destination])
+    rng.shuffle(senders)
+    senders = senders[: min(ns, len(senders))]
+
+    specs = []
+    for s in senders:
+        for _ in range(k):
+            specs.append(
+                PacketSpec(
+                    source=s, destination=destination, weight=sampler(rng), arrival=arrival_slot
+                )
+            )
+    return build_packets(specs)

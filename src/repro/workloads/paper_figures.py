@@ -1,0 +1,98 @@
+"""The exact worked examples of Figures 1 and 2 of the paper.
+
+These instances are used by the reproduction benchmarks (E1, E2) and by the
+test-suite as ground truth for the dispatcher, the scheduler and the charging
+scheme:
+
+* Figure 1: five unit-weight packets on a 2-source / 3-destination hybrid
+  topology.  The paper reports a feasible schedule of cost 9 (sending packet
+  ``p5`` over the fixed ``(s2, d3)`` link) and an optimal schedule of cost 7
+  (sending ``p5`` in the third slot over edge ``(t3, r4)``).
+* Figure 2: two packet sets Π = {p1,p2,p3} and Π′ = {p1,p2,p3,p4} on a
+  single-transmitter-per-source topology; the figure tabulates the realised
+  per-packet impacts (the charging-scheme values): (1, 2, 5) for Π and
+  (1, 3, 3, 7) for Π′.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.packet import Packet
+from repro.network.builders import figure1_topology, figure2_topology
+from repro.workloads.base import Instance
+
+__all__ = [
+    "figure1_packets",
+    "figure1_instance",
+    "figure1_reported_costs",
+    "figure2_packets_pi",
+    "figure2_packets_pi_prime",
+    "figure2_instances",
+    "figure2_reported_impacts",
+]
+
+
+def figure1_packets() -> List[Packet]:
+    """The five unit-weight packets of Figure 1 (p1..p5 with ids 0..4)."""
+    return [
+        Packet(packet_id=0, source="s1", destination="d1", weight=1.0, arrival=1),  # p1
+        Packet(packet_id=1, source="s1", destination="d2", weight=1.0, arrival=1),  # p2
+        Packet(packet_id=2, source="s2", destination="d2", weight=1.0, arrival=1),  # p3
+        Packet(packet_id=3, source="s2", destination="d2", weight=1.0, arrival=2),  # p4
+        Packet(packet_id=4, source="s2", destination="d3", weight=1.0, arrival=2),  # p5
+    ]
+
+
+def figure1_instance() -> Instance:
+    """Figure 1 as an :class:`~repro.workloads.base.Instance`."""
+    return Instance(
+        name="figure1",
+        topology=figure1_topology(),
+        packets=figure1_packets(),
+        metadata={"paper_feasible_cost": 9.0, "paper_optimal_cost": 7.0},
+    )
+
+
+def figure1_reported_costs() -> Dict[str, float]:
+    """The costs the paper reports for the Figure 1 instance."""
+    return {"feasible_solution": 9.0, "optimal_solution": 7.0}
+
+
+def figure2_packets_pi() -> List[Packet]:
+    """The packet set Π = {p1, p2, p3} of Figure 2 (weights 1, 2, 3)."""
+    return [
+        Packet(packet_id=0, source="s1", destination="d1", weight=1.0, arrival=1),  # p1
+        Packet(packet_id=1, source="s1", destination="d2", weight=2.0, arrival=1),  # p2
+        Packet(packet_id=2, source="s2", destination="d2", weight=3.0, arrival=1),  # p3
+    ]
+
+
+def figure2_packets_pi_prime() -> List[Packet]:
+    """The packet set Π′ = {p1, p2, p3, p4} of Figure 2 (weights 1, 2, 3, 4)."""
+    return figure2_packets_pi() + [
+        Packet(packet_id=3, source="s2", destination="d3", weight=4.0, arrival=1),  # p4
+    ]
+
+
+def figure2_instances() -> Dict[str, Instance]:
+    """Both Figure 2 instances, keyed ``"pi"`` and ``"pi_prime"``."""
+    topo = figure2_topology()
+    return {
+        "pi": Instance(name="figure2-pi", topology=topo, packets=figure2_packets_pi()),
+        "pi_prime": Instance(
+            name="figure2-pi-prime", topology=topo, packets=figure2_packets_pi_prime()
+        ),
+    }
+
+
+def figure2_reported_impacts() -> Dict[str, Dict[int, float]]:
+    """The per-packet impact values tabulated in Figure 2.
+
+    Keys are the packet ids used by :func:`figure2_packets_pi` /
+    :func:`figure2_packets_pi_prime` (p1 → 0, p2 → 1, …).
+    """
+    return {
+        "pi": {0: 1.0, 1: 2.0, 2: 5.0},
+        "pi_prime": {0: 1.0, 1: 3.0, 2: 3.0, 3: 7.0},
+    }

@@ -1,0 +1,124 @@
+"""Skewed (heavy-tailed) demand workloads.
+
+Datacenter traffic is highly skewed: a small number of rack pairs carry most
+of the bytes (the elephant flows the paper's introduction motivates routing
+over opportunistic links).  The generators here produce Zipf-distributed pair
+popularity and explicit elephant/mice mixtures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.packet import Packet
+from repro.exceptions import WorkloadError
+from repro.network.topology import TwoTierTopology
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive, check_positive_int
+from repro.workloads.arrival import deterministic_arrivals, poisson_arrivals
+from repro.workloads.base import PacketSpec, build_packets, routable_pairs
+from repro.workloads.weights import WeightSampler, bimodal_weights, constant_weights
+
+__all__ = ["zipf_workload", "elephant_mice_workload", "zipf_pair_probabilities"]
+
+
+def zipf_pair_probabilities(num_pairs: int, exponent: float) -> np.ndarray:
+    """Zipf popularity vector ``p_k ∝ 1 / k^exponent`` over ``num_pairs`` ranks."""
+    n = check_positive_int(num_pairs, "num_pairs")
+    s = check_positive(exponent, "exponent")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, s)
+    return weights / weights.sum()
+
+
+def zipf_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    exponent: float = 1.2,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_rate: Optional[float] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Packets whose (source, destination) pair follows a Zipf popularity law.
+
+    Pairs are ranked in a random order and pair ``k`` receives probability
+    proportional to ``1/k^exponent``; larger exponents concentrate traffic on
+    fewer pairs (more skew).
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+    order = list(range(len(pairs)))
+    rng.shuffle(order)
+    ranked_pairs = [pairs[i] for i in order]
+    probs = zipf_pair_probabilities(len(ranked_pairs), exponent)
+
+    if arrival_rate is not None:
+        slots = poisson_arrivals(n, arrival_rate, seed=rng)
+    else:
+        slots = deterministic_arrivals(n, interval=1.0)
+
+    choices = rng.choice(len(ranked_pairs), size=n, p=probs)
+    specs = []
+    for i in range(n):
+        s, d = ranked_pairs[int(choices[i])]
+        specs.append(PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=slots[i]))
+    return build_packets(specs)
+
+
+def elephant_mice_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    elephant_pair_fraction: float = 0.1,
+    elephant_traffic_fraction: float = 0.8,
+    heavy_weight: float = 20.0,
+    light_weight: float = 1.0,
+    arrival_rate: Optional[float] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Explicit elephant/mice mixture.
+
+    A fraction ``elephant_pair_fraction`` of the routable pairs is designated
+    *elephant* pairs; they receive ``elephant_traffic_fraction`` of the
+    packets, each with weight ``heavy_weight``.  The remaining packets are
+    mice of weight ``light_weight`` spread uniformly over the other pairs.
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    if not 0 < elephant_pair_fraction <= 1:
+        raise WorkloadError(
+            f"elephant_pair_fraction must lie in (0,1], got {elephant_pair_fraction}"
+        )
+    if not 0 <= elephant_traffic_fraction <= 1:
+        raise WorkloadError(
+            f"elephant_traffic_fraction must lie in [0,1], got {elephant_traffic_fraction}"
+        )
+    rng = as_rng(seed)
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+    order = list(range(len(pairs)))
+    rng.shuffle(order)
+    num_elephant = max(1, int(round(elephant_pair_fraction * len(pairs))))
+    elephant_pairs = [pairs[i] for i in order[:num_elephant]]
+    mice_pairs = [pairs[i] for i in order[num_elephant:]] or elephant_pairs
+
+    if arrival_rate is not None:
+        slots = poisson_arrivals(n, arrival_rate, seed=rng)
+    else:
+        slots = deterministic_arrivals(n, interval=1.0)
+
+    specs = []
+    for i in range(n):
+        if rng.random() < elephant_traffic_fraction:
+            s, d = elephant_pairs[int(rng.integers(len(elephant_pairs)))]
+            weight = float(heavy_weight)
+        else:
+            s, d = mice_pairs[int(rng.integers(len(mice_pairs)))]
+            weight = float(light_weight)
+        specs.append(PacketSpec(source=s, destination=d, weight=weight, arrival=slots[i]))
+    return build_packets(specs)

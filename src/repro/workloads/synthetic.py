@@ -1,0 +1,209 @@
+"""Spatially structured synthetic workloads.
+
+Each generator combines a spatial pattern over the routable (source,
+destination) pairs of a topology with an arrival process and a weight
+distribution, returning a list of :class:`~repro.core.packet.Packet` objects
+ready for the simulation engine (ids assigned in dispatch order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.packet import Packet
+from repro.exceptions import WorkloadError
+from repro.network.topology import TwoTierTopology
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+from repro.workloads.arrival import deterministic_arrivals, poisson_arrivals
+from repro.workloads.base import PacketSpec, build_packets, routable_pairs
+from repro.workloads.weights import WeightSampler, constant_weights
+
+__all__ = [
+    "uniform_random_workload",
+    "permutation_workload",
+    "all_to_all_workload",
+    "hotspot_workload",
+]
+
+
+def _resolve_pairs(
+    topology: TwoTierTopology, pairs: Optional[Sequence[Tuple[str, str]]]
+) -> List[Tuple[str, str]]:
+    resolved = list(pairs) if pairs is not None else routable_pairs(topology)
+    if not resolved:
+        raise WorkloadError(f"topology {topology.name!r} has no routable (source, destination) pairs")
+    for (s, d) in resolved:
+        if not topology.can_route(s, d):
+            raise WorkloadError(f"pair ({s!r}, {d!r}) is not routable on {topology.name!r}")
+    return resolved
+
+
+def _resolve_arrivals(
+    num_packets: int,
+    arrivals: Optional[Sequence[int]],
+    arrival_rate: Optional[float],
+    rng: np.random.Generator,
+) -> List[int]:
+    if arrivals is not None:
+        if len(arrivals) != num_packets:
+            raise WorkloadError(
+                f"got {len(arrivals)} arrival times for {num_packets} packets"
+            )
+        return [int(a) for a in arrivals]
+    if arrival_rate is not None:
+        return poisson_arrivals(num_packets, arrival_rate, seed=rng)
+    return deterministic_arrivals(num_packets, interval=1.0)
+
+
+def uniform_random_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_rate: Optional[float] = None,
+    arrivals: Optional[Sequence[int]] = None,
+    pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Packets over uniformly random routable pairs.
+
+    Parameters
+    ----------
+    num_packets:
+        Number of packets to generate.
+    weight_sampler:
+        Weight distribution (default: all weights 1).
+    arrival_rate:
+        If given, Poisson arrivals with this per-slot rate; otherwise one
+        packet per slot unless explicit ``arrivals`` are supplied.
+    arrivals:
+        Explicit arrival slots (overrides ``arrival_rate``).
+    pairs:
+        Restrict the spatial pattern to these pairs (default: all routable).
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+    candidates = _resolve_pairs(topology, pairs)
+    slots = _resolve_arrivals(n, arrivals, arrival_rate, rng)
+
+    specs = []
+    for i in range(n):
+        s, d = candidates[int(rng.integers(len(candidates)))]
+        specs.append(PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=slots[i]))
+    return build_packets(specs)
+
+
+def permutation_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_rate: Optional[float] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Traffic following a random source→destination permutation.
+
+    Each source is paired with a single destination (a random perfect matching
+    on the routable demand graph obtained greedily); all of a source's packets
+    go to its matched destination.  Permutation traffic is the canonical
+    stress pattern for switch scheduling.
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+
+    by_source: dict[str, List[str]] = {}
+    for s, d in pairs:
+        by_source.setdefault(s, []).append(d)
+    sources = list(by_source)
+    rng.shuffle(sources)
+    used_destinations: set[str] = set()
+    mapping: List[Tuple[str, str]] = []
+    for s in sources:
+        options = [d for d in by_source[s] if d not in used_destinations]
+        if not options:
+            options = by_source[s]
+        d = options[int(rng.integers(len(options)))]
+        used_destinations.add(d)
+        mapping.append((s, d))
+
+    slots = _resolve_arrivals(n, None, arrival_rate, rng)
+    specs = []
+    for i in range(n):
+        s, d = mapping[int(rng.integers(len(mapping)))]
+        specs.append(PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=slots[i]))
+    return build_packets(specs)
+
+
+def all_to_all_workload(
+    topology: TwoTierTopology,
+    packets_per_pair: int = 1,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_slot: int = 1,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Every routable pair receives ``packets_per_pair`` packets at the same slot.
+
+    This is the shuffle/all-to-all pattern of distributed analytics jobs and a
+    worst case for per-slot matchings (every transmitter and receiver is
+    contended).
+    """
+    k = check_positive_int(packets_per_pair, "packets_per_pair")
+    if arrival_slot < 1:
+        raise WorkloadError(f"arrival_slot must be >= 1, got {arrival_slot}")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+    specs = []
+    for (s, d) in routable_pairs(topology):
+        for _ in range(k):
+            specs.append(
+                PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=arrival_slot)
+            )
+    if not specs:
+        raise WorkloadError("topology has no routable pairs")
+    return build_packets(specs)
+
+
+def hotspot_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    num_hotspots: int = 1,
+    hotspot_fraction: float = 0.7,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_rate: Optional[float] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Traffic concentrated on a few hot destinations (incast-style skew).
+
+    A fraction ``hotspot_fraction`` of packets is directed at ``num_hotspots``
+    randomly chosen destinations; the rest is uniform over all routable pairs.
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    h = check_positive_int(num_hotspots, "num_hotspots")
+    if not 0 <= hotspot_fraction <= 1:
+        raise WorkloadError(f"hotspot_fraction must lie in [0,1], got {hotspot_fraction}")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+
+    destinations = sorted({d for (_s, d) in pairs})
+    rng.shuffle(destinations)
+    hot = set(destinations[: min(h, len(destinations))])
+    hot_pairs = [p for p in pairs if p[1] in hot]
+    slots = _resolve_arrivals(n, None, arrival_rate, rng)
+
+    specs = []
+    for i in range(n):
+        if hot_pairs and rng.random() < hotspot_fraction:
+            s, d = hot_pairs[int(rng.integers(len(hot_pairs)))]
+        else:
+            s, d = pairs[int(rng.integers(len(pairs)))]
+        specs.append(PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=slots[i]))
+    return build_packets(specs)

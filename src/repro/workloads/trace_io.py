@@ -1,0 +1,60 @@
+"""Reading and writing packet traces as CSV files.
+
+The trace format is a plain CSV with header
+``packet_id,source,destination,weight,arrival`` — small enough to inspect by
+hand, and sufficient to replay any workload deterministically (packet ids
+encode the dispatch order).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.core.packet import Packet
+from repro.exceptions import WorkloadError
+
+__all__ = ["write_packet_trace", "read_packet_trace", "TRACE_FIELDS"]
+
+TRACE_FIELDS = ("packet_id", "source", "destination", "weight", "arrival")
+
+
+def write_packet_trace(packets: Sequence[Packet], path: Union[str, Path]) -> Path:
+    """Write ``packets`` to ``path`` in CSV trace format and return the path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_FIELDS)
+        for p in sorted(packets, key=lambda pkt: pkt.packet_id):
+            writer.writerow([p.packet_id, p.source, p.destination, repr(p.weight), p.arrival])
+    return path
+
+
+def read_packet_trace(path: Union[str, Path]) -> List[Packet]:
+    """Read a CSV packet trace previously written by :func:`write_packet_trace`."""
+    path = Path(path)
+    packets: List[Packet] = []
+    with path.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != TRACE_FIELDS:
+            raise WorkloadError(
+                f"trace {path} has header {reader.fieldnames!r}; expected {TRACE_FIELDS!r}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                packets.append(
+                    Packet(
+                        packet_id=int(row["packet_id"]),
+                        source=row["source"],
+                        destination=row["destination"],
+                        weight=float(row["weight"]),
+                        arrival=int(row["arrival"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise WorkloadError(f"invalid trace row at {path}:{line_number}: {exc}") from exc
+    ids = [p.packet_id for p in packets]
+    if len(set(ids)) != len(ids):
+        raise WorkloadError(f"trace {path} contains duplicate packet ids")
+    return packets

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OpportunisticLinkScheduler, Packet
+from repro.network import (
+    TwoTierTopology,
+    figure1_topology,
+    figure2_topology,
+    projector_fabric,
+    single_tier_crossbar,
+)
+from repro.workloads import Instance, figure1_instance, uniform_random_workload
+
+
+@pytest.fixture
+def fig1_topology() -> TwoTierTopology:
+    """The Figure 1 hybrid topology."""
+    return figure1_topology()
+
+
+@pytest.fixture
+def fig1_instance() -> Instance:
+    """The Figure 1 instance (topology + five unit packets)."""
+    return figure1_instance()
+
+
+@pytest.fixture
+def fig2_topology() -> TwoTierTopology:
+    """The Figure 2 topology (one transmitter per source, one receiver per destination)."""
+    return figure2_topology()
+
+
+@pytest.fixture
+def crossbar4() -> TwoTierTopology:
+    """A 4x4 single-tier crossbar."""
+    return single_tier_crossbar(4)
+
+
+@pytest.fixture
+def small_fabric() -> TwoTierTopology:
+    """A small ProjecToR-style fabric (4 racks, 2 lasers/photodetectors each)."""
+    return projector_fabric(num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=3)
+
+
+@pytest.fixture
+def small_instance(small_fabric: TwoTierTopology) -> Instance:
+    """A deterministic 40-packet instance on the small fabric."""
+    packets = uniform_random_workload(small_fabric, num_packets=40, arrival_rate=2.0, seed=5)
+    return Instance(name="small", topology=small_fabric, packets=packets)
+
+
+@pytest.fixture
+def alg_policy() -> OpportunisticLinkScheduler:
+    """A fresh instance of the paper's algorithm."""
+    return OpportunisticLinkScheduler()
+
+
+def make_simple_line_topology() -> TwoTierTopology:
+    """One source, one destination, a single edge of delay 1 (used by unit tests)."""
+    topo = TwoTierTopology(name="line")
+    topo.add_source("s")
+    topo.add_destination("d")
+    topo.add_transmitter("t", "s")
+    topo.add_receiver("r", "d")
+    topo.add_reconfigurable_edge("t", "r", delay=1)
+    return topo.freeze()
+
+
+@pytest.fixture
+def line_topology() -> TwoTierTopology:
+    """Single source→transmitter→receiver→destination line."""
+    return make_simple_line_topology()
+
+
+def make_packet(
+    packet_id: int = 0,
+    source: str = "s",
+    destination: str = "d",
+    weight: float = 1.0,
+    arrival: int = 1,
+) -> Packet:
+    """Convenience packet constructor for unit tests."""
+    return Packet(
+        packet_id=packet_id,
+        source=source,
+        destination=destination,
+        weight=weight,
+        arrival=arrival,
+    )

@@ -1,0 +1,128 @@
+"""Tests for repro.analysis.lp (the Figure 3 primal LP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_primal_lp, solve_lp_lower_bound
+from repro.baselines import brute_force_optimal
+from repro.core import OpportunisticLinkScheduler, Packet
+from repro.exceptions import LPError
+from repro.simulation import simulate
+from repro.workloads import Instance, figure1_instance, figure2_instances, uniform_random_workload
+from repro.network import random_bipartite
+
+
+class TestLPConstruction:
+    def test_variable_and_constraint_counts(self, fig1_instance):
+        lp = build_primal_lp(fig1_instance, capacity=1.0, horizon=6)
+        # x variables: every (packet, candidate edge, slot in [arrival, 6]).
+        expected_x = 6 + 6 + 6 + 5 + 5  # p1..p5 (p4, p5 arrive at slot 2)
+        assert lp.num_variables == expected_x + 1  # + one y variable for p5
+        assert lp.num_constraints > len(fig1_instance.packets)
+
+    def test_invalid_capacity(self, fig1_instance):
+        with pytest.raises(LPError):
+            build_primal_lp(fig1_instance, capacity=0.0)
+        with pytest.raises(LPError):
+            build_primal_lp(fig1_instance, capacity=1.5)
+
+    def test_horizon_too_small(self, fig1_instance):
+        with pytest.raises(LPError):
+            build_primal_lp(fig1_instance, horizon=1)
+
+    def test_empty_instance_rejected(self, line_topology):
+        with pytest.raises(LPError):
+            build_primal_lp(Instance(name="empty", topology=line_topology, packets=[]))
+
+
+class TestLPLowerBound:
+    def test_figure1_value(self, fig1_instance):
+        solution = solve_lp_lower_bound(fig1_instance, capacity=1.0)
+        assert solution.optimal
+        assert solution.objective_value == pytest.approx(7.0, abs=1e-6)
+
+    def test_single_packet_exact(self, line_topology):
+        instance = Instance(
+            name="one", topology=line_topology, packets=[Packet(0, "s", "d", 3.0, 1)]
+        )
+        solution = solve_lp_lower_bound(instance, capacity=1.0)
+        assert solution.objective_value == pytest.approx(3.0, abs=1e-6)
+
+    def test_lower_bound_never_exceeds_brute_force(self):
+        for key, instance in figure2_instances().items():
+            lp = solve_lp_lower_bound(instance, capacity=1.0).objective_value
+            opt = brute_force_optimal(instance).cost
+            assert lp <= opt + 1e-6, key
+
+    def test_lower_bound_never_exceeds_alg(self):
+        topo = random_bipartite(3, 3, transmitters_per_source=2, seed=8)
+        packets = uniform_random_workload(topo, 12, arrival_rate=2.0, seed=9)
+        instance = Instance(name="rand", topology=topo, packets=packets)
+        lp = solve_lp_lower_bound(instance, capacity=1.0).objective_value
+        alg = simulate(topo, OpportunisticLinkScheduler(), packets).total_weighted_latency
+        assert lp <= alg + 1e-6
+
+    def test_smaller_capacity_larger_bound(self, fig1_instance):
+        full = solve_lp_lower_bound(fig1_instance, capacity=1.0).objective_value
+        slowed = solve_lp_lower_bound(fig1_instance, capacity=0.25).objective_value
+        assert slowed >= full - 1e-9
+
+    def test_capacity_monotonicity_chain(self, fig1_instance):
+        values = [
+            solve_lp_lower_bound(fig1_instance, capacity=c).objective_value
+            for c in (1.0, 0.5, 1.0 / 3.0)
+        ]
+        assert values[0] <= values[1] + 1e-9 <= values[2] + 2e-9
+
+    def test_keep_solution_returns_fractions(self, fig1_instance):
+        solution = solve_lp_lower_bound(fig1_instance, capacity=1.0, keep_solution=True)
+        total_per_packet = {}
+        for (pid, _edge, _slot), value in solution.x_values.items():
+            total_per_packet[pid] = total_per_packet.get(pid, 0.0) + value
+        for pid, y in solution.y_values.items():
+            total_per_packet[pid] = total_per_packet.get(pid, 0.0) + y
+        assert all(total == pytest.approx(1.0, abs=1e-5) for total in total_per_packet.values())
+        assert set(total_per_packet) == {0, 1, 2, 3, 4}
+
+    def test_infeasible_horizon_raises(self, fig1_instance):
+        with pytest.raises(LPError):
+            solve_lp_lower_bound(fig1_instance, capacity=0.25, horizon=2)
+
+
+class TestObjectiveVariants:
+    @pytest.fixture(scope="class")
+    def delayed_instance(self):
+        topo = random_bipartite(
+            3, 3, transmitters_per_source=2, edge_probability=0.6,
+            delay_choices=(1, 2, 3), seed=21,
+        )
+        packets = uniform_random_workload(topo, 12, arrival_rate=2.0, seed=22)
+        return Instance(name="delayed", topology=topo, packets=packets)
+
+    def test_invalid_objective_rejected(self, fig1_instance):
+        with pytest.raises(LPError):
+            build_primal_lp(fig1_instance, objective="bogus")
+
+    def test_variants_coincide_on_unit_delays(self, fig1_instance):
+        paper = solve_lp_lower_bound(fig1_instance, objective="paper").objective_value
+        frac = solve_lp_lower_bound(fig1_instance, objective="fractional").objective_value
+        assert paper == pytest.approx(frac, abs=1e-6)
+
+    def test_paper_objective_at_least_fractional(self, delayed_instance):
+        paper = solve_lp_lower_bound(delayed_instance, objective="paper").objective_value
+        frac = solve_lp_lower_bound(delayed_instance, objective="fractional").objective_value
+        assert paper >= frac - 1e-6
+
+    def test_fractional_lower_bounds_alg_with_multi_slot_delays(self, delayed_instance):
+        frac = solve_lp_lower_bound(delayed_instance, objective="fractional").objective_value
+        alg = simulate(
+            delayed_instance.topology,
+            OpportunisticLinkScheduler(),
+            delayed_instance.packets,
+        ).total_weighted_latency
+        assert frac <= alg + 1e-6
+
+    def test_objective_kind_recorded(self, fig1_instance):
+        solution = solve_lp_lower_bound(fig1_instance, objective="fractional")
+        assert solution.objective_kind == "fractional"

@@ -1,0 +1,84 @@
+"""Tests for repro.baselines.brute_force."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import brute_force_optimal
+from repro.core import OpportunisticLinkScheduler, Packet
+from repro.exceptions import AnalysisError
+from repro.network import TwoTierTopology, figure1_topology, figure2_topology
+from repro.simulation import simulate
+from repro.workloads import Instance, figure1_instance, figure2_instances
+
+
+class TestBruteForceOptimal:
+    def test_figure1_optimum_is_seven(self):
+        result = brute_force_optimal(figure1_instance())
+        assert result.cost == pytest.approx(7.0)
+
+    def test_figure2_pi_optimum(self):
+        instance = figure2_instances()["pi"]
+        # p1 and p3 in slot 1, p2 in slot 2: cost 1*1 + 2*2 + 3*1 = 8.
+        assert brute_force_optimal(instance).cost == pytest.approx(8.0)
+
+    def test_single_packet(self, line_topology):
+        instance = Instance(
+            name="one", topology=line_topology, packets=[Packet(0, "s", "d", 2.0, 1)]
+        )
+        assert brute_force_optimal(instance).cost == pytest.approx(2.0)
+
+    def test_prefers_fixed_link_when_cheaper(self):
+        topo = TwoTierTopology()
+        topo.add_source("s")
+        topo.add_destination("d")
+        topo.add_transmitter("t", "s")
+        topo.add_receiver("r", "d")
+        topo.add_reconfigurable_edge("t", "r", delay=5)
+        topo.add_fixed_link("s", "d", delay=2)
+        topo.freeze()
+        instance = Instance(name="f", topology=topo, packets=[Packet(0, "s", "d", 1.0, 1)])
+        result = brute_force_optimal(instance)
+        assert result.cost == pytest.approx(2.0)
+        assert result.routes[0] == ("fixed",)
+
+    def test_never_exceeds_alg(self, fig1_instance):
+        opt = brute_force_optimal(fig1_instance).cost
+        alg = simulate(
+            fig1_instance.topology, OpportunisticLinkScheduler(), fig1_instance.packets
+        ).total_weighted_latency
+        assert opt <= alg + 1e-9
+
+    def test_route_combination_limit(self, fig1_instance):
+        with pytest.raises(AnalysisError):
+            brute_force_optimal(fig1_instance, max_route_combinations=1)
+
+    def test_chunk_limit(self):
+        topo = TwoTierTopology()
+        topo.add_source("s")
+        topo.add_destination("d")
+        topo.add_transmitter("t", "s")
+        topo.add_receiver("r", "d")
+        topo.add_reconfigurable_edge("t", "r", delay=8)
+        topo.freeze()
+        packets = [Packet(i, "s", "d", 1.0, 1) for i in range(3)]
+        instance = Instance(name="big", topology=topo, packets=packets)
+        with pytest.raises(AnalysisError):
+            brute_force_optimal(instance, max_total_chunks=10)
+
+    def test_multi_chunk_scheduling(self):
+        topo = TwoTierTopology()
+        topo.add_source("s")
+        topo.add_destination("d")
+        topo.add_transmitter("t", "s")
+        topo.add_receiver("r", "d")
+        topo.add_reconfigurable_edge("t", "r", delay=2)
+        topo.freeze()
+        instance = Instance(name="two-chunk", topology=topo, packets=[Packet(0, "s", "d", 2.0, 1)])
+        # Two chunks of weight 1 delivered at slots 1 and 2: cost 1 + 2 = 3.
+        assert brute_force_optimal(instance).cost == pytest.approx(3.0)
+
+    def test_arrival_offsets_respected(self, line_topology):
+        packets = [Packet(0, "s", "d", 1.0, 1), Packet(1, "s", "d", 1.0, 3)]
+        instance = Instance(name="offset", topology=line_topology, packets=packets)
+        assert brute_force_optimal(instance).cost == pytest.approx(2.0)

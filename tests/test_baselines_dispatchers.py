@@ -1,0 +1,158 @@
+"""Tests for repro.baselines.dispatchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    DirectFirstDispatcher,
+    LeastLoadedDispatcher,
+    RandomDispatcher,
+    ShortestPathDispatcher,
+)
+from repro.core import Packet
+from repro.core.packet import EdgeAssignment, FixedLinkAssignment
+from repro.core.queues import PendingChunkPool
+from repro.exceptions import RoutingError
+from repro.network import TwoTierTopology, figure1_topology, projector_fabric
+
+
+def two_edge_topology(delays=(1, 3), fixed=None) -> TwoTierTopology:
+    topo = TwoTierTopology()
+    topo.add_source("s")
+    topo.add_destination("d")
+    topo.add_transmitter("ta", "s")
+    topo.add_transmitter("tb", "s")
+    topo.add_receiver("ra", "d")
+    topo.add_receiver("rb", "d")
+    topo.add_reconfigurable_edge("ta", "ra", delay=delays[0])
+    topo.add_reconfigurable_edge("tb", "rb", delay=delays[1])
+    if fixed is not None:
+        topo.add_fixed_link("s", "d", delay=fixed)
+    return topo.freeze()
+
+
+class TestRandomDispatcher:
+    def test_deterministic_after_reset(self):
+        topo = two_edge_topology()
+        dispatcher = RandomDispatcher(seed=3)
+        picks1 = []
+        for i in range(10):
+            picks1.append(dispatcher.dispatch(Packet(i, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1))
+        dispatcher.reset()
+        picks2 = []
+        for i in range(10):
+            picks2.append(dispatcher.dispatch(Packet(i, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1))
+        assert [getattr(a, "edge", "fixed") for a in picks1] == [
+            getattr(a, "edge", "fixed") for a in picks2
+        ]
+
+    def test_uses_both_edges_eventually(self):
+        topo = two_edge_topology()
+        dispatcher = RandomDispatcher(seed=0)
+        edges = {
+            dispatcher.dispatch(Packet(i, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1).edge
+            for i in range(30)
+        }
+        assert edges == {("ta", "ra"), ("tb", "rb")}
+
+    def test_fixed_link_is_a_candidate(self):
+        topo = two_edge_topology(fixed=2)
+        dispatcher = RandomDispatcher(seed=1)
+        kinds = {
+            dispatcher.dispatch(Packet(i, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1).uses_fixed_link
+            for i in range(50)
+        }
+        assert kinds == {True, False}
+
+    def test_unroutable_raises(self):
+        topo = figure1_topology()
+        with pytest.raises(RoutingError):
+            RandomDispatcher(seed=0).dispatch(Packet(0, "s1", "d3", 1.0, 1), topo, PendingChunkPool(), 1)
+
+    def test_impact_recorded(self):
+        topo = two_edge_topology()
+        assignment = RandomDispatcher(seed=5).dispatch(
+            Packet(0, "s", "d", 2.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert assignment.impact > 0
+
+
+class TestLeastLoadedDispatcher:
+    def test_picks_unloaded_edge(self):
+        topo = two_edge_topology(delays=(1, 1))
+        dispatcher = LeastLoadedDispatcher()
+        pool = PendingChunkPool()
+        first = dispatcher.dispatch(Packet(0, "s", "d", 5.0, 1), topo, pool, 1)
+        pool.add_all(first.chunks)
+        second = dispatcher.dispatch(Packet(1, "s", "d", 1.0, 1), topo, pool, 1)
+        assert first.edge != second.edge
+
+    def test_tie_broken_by_path_delay(self):
+        topo = two_edge_topology(delays=(3, 1))
+        assignment = LeastLoadedDispatcher().dispatch(
+            Packet(0, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert assignment.edge == ("tb", "rb")
+
+    def test_fixed_only_when_no_edges(self):
+        topo = TwoTierTopology()
+        topo.add_source("s")
+        topo.add_destination("d")
+        topo.add_transmitter("t", "s")
+        topo.add_receiver("r", "d")
+        topo.add_fixed_link("s", "d", delay=2)
+        topo.freeze()
+        assignment = LeastLoadedDispatcher().dispatch(
+            Packet(0, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert isinstance(assignment, FixedLinkAssignment)
+
+
+class TestShortestPathDispatcher:
+    def test_picks_smallest_delay_edge(self):
+        topo = two_edge_topology(delays=(4, 2))
+        assignment = ShortestPathDispatcher().dispatch(
+            Packet(0, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert assignment.edge == ("tb", "rb")
+
+    def test_fixed_link_when_strictly_faster(self):
+        topo = two_edge_topology(delays=(4, 5), fixed=2)
+        assignment = ShortestPathDispatcher().dispatch(
+            Packet(0, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert isinstance(assignment, FixedLinkAssignment)
+
+    def test_edge_preferred_on_tie(self):
+        topo = two_edge_topology(delays=(2, 5), fixed=2)
+        assignment = ShortestPathDispatcher().dispatch(
+            Packet(0, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert isinstance(assignment, EdgeAssignment)
+
+    def test_ignores_queue_state(self):
+        topo = two_edge_topology(delays=(1, 2))
+        dispatcher = ShortestPathDispatcher()
+        pool = PendingChunkPool()
+        first = dispatcher.dispatch(Packet(0, "s", "d", 5.0, 1), topo, pool, 1)
+        pool.add_all(first.chunks)
+        second = dispatcher.dispatch(Packet(1, "s", "d", 5.0, 1), topo, pool, 1)
+        assert first.edge == second.edge == ("ta", "ra")
+
+
+class TestDirectFirstDispatcher:
+    def test_always_prefers_fixed(self):
+        topo = two_edge_topology(delays=(1, 1), fixed=50)
+        assignment = DirectFirstDispatcher().dispatch(
+            Packet(0, "s", "d", 1.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert isinstance(assignment, FixedLinkAssignment)
+        assert assignment.impact == pytest.approx(50.0)
+
+    def test_falls_back_to_impact_dispatch(self):
+        topo = projector_fabric(num_racks=3, seed=0)
+        assignment = DirectFirstDispatcher().dispatch(
+            Packet(0, "rack0:src", "rack1:dst", 1.0, 1), topo, PendingChunkPool(), 1
+        )
+        assert isinstance(assignment, EdgeAssignment)

@@ -1,0 +1,167 @@
+"""Tests for repro.baselines.schedulers and policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    FIFOScheduler,
+    ISLIPScheduler,
+    MaxWeightMatchingScheduler,
+    RandomOrderScheduler,
+    ablation_policies,
+    all_policies,
+    standard_baselines,
+)
+from repro.core import OpportunisticLinkScheduler, Packet
+from repro.core.packet import split_into_chunks
+from repro.core.queues import PendingChunkPool
+from repro.core.stable_matching import is_chunk_matching
+from repro.network import figure2_topology, single_tier_crossbar
+from repro.simulation import simulate
+from repro.workloads import uniform_random_workload
+
+
+def add_chunk(pool, pid, weight, edge, arrival=1):
+    packet = Packet(pid, "s", "d", weight=weight, arrival=arrival)
+    chunk = split_into_chunks(packet, edge[0], edge[1], edge_delay=1)[0]
+    pool.add(chunk)
+    return chunk
+
+
+def conflict_pool():
+    """Two conflicting chunks at one transmitter plus an independent one."""
+    pool = PendingChunkPool()
+    old_light = add_chunk(pool, 0, 1.0, ("t1", "r1"), arrival=1)
+    new_heavy = add_chunk(pool, 1, 9.0, ("t1", "r2"), arrival=5)
+    other = add_chunk(pool, 2, 2.0, ("t2", "r3"), arrival=2)
+    return pool, old_light, new_heavy, other
+
+
+class TestFIFOScheduler:
+    def test_oldest_first(self):
+        pool, old_light, new_heavy, other = conflict_pool()
+        matching = FIFOScheduler().select_matching(pool, figure2_topology(), 10)
+        assert old_light in matching and new_heavy not in matching and other in matching
+
+    def test_is_matching(self):
+        pool, *_ = conflict_pool()
+        assert is_chunk_matching(FIFOScheduler().select_matching(pool, figure2_topology(), 10))
+
+
+class TestRandomOrderScheduler:
+    def test_is_matching_and_deterministic_after_reset(self):
+        pool, *_ = conflict_pool()
+        scheduler = RandomOrderScheduler(seed=7)
+        first = scheduler.select_matching(pool, figure2_topology(), 10)
+        scheduler.reset()
+        second = scheduler.select_matching(pool, figure2_topology(), 10)
+        assert is_chunk_matching(first)
+        assert first == second
+
+    def test_empty_pool(self):
+        assert RandomOrderScheduler(seed=1).select_matching(PendingChunkPool(), figure2_topology(), 1) == []
+
+
+class TestMaxWeightScheduler:
+    def test_prefers_heavier_edge(self):
+        pool, old_light, new_heavy, other = conflict_pool()
+        matching = MaxWeightMatchingScheduler().select_matching(pool, figure2_topology(), 10)
+        assert new_heavy in matching and other in matching
+
+    def test_sum_mode_aggregates(self):
+        pool = PendingChunkPool()
+        # Edge A holds one chunk of weight 5; edge B holds three chunks of
+        # weight 2 each (total 6).  Both edges share the transmitter.
+        add_chunk(pool, 0, 5.0, ("t", "ra"))
+        for pid in range(1, 4):
+            add_chunk(pool, pid, 2.0, ("t", "rb"))
+        max_mode = MaxWeightMatchingScheduler(mode="max").select_matching(pool, figure2_topology(), 1)
+        sum_mode = MaxWeightMatchingScheduler(mode="sum").select_matching(pool, figure2_topology(), 1)
+        assert max_mode[0].edge == ("t", "ra")
+        assert sum_mode[0].edge == ("t", "rb")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            MaxWeightMatchingScheduler(mode="bogus")
+
+    def test_is_matching_on_dense_pool(self):
+        pool = PendingChunkPool()
+        pid = 0
+        for t in range(3):
+            for r in range(3):
+                add_chunk(pool, pid, float(pid + 1), (f"t{t}", f"r{r}"))
+                pid += 1
+        matching = MaxWeightMatchingScheduler().select_matching(pool, figure2_topology(), 1)
+        assert is_chunk_matching(matching)
+        assert len(matching) == 3
+
+    def test_eligibility_respected(self):
+        pool = PendingChunkPool()
+        packet = Packet(0, "s", "d", weight=1.0, arrival=1)
+        late = split_into_chunks(packet, "t", "r", edge_delay=1, head_delay=9)[0]
+        pool.add(late)
+        assert MaxWeightMatchingScheduler().select_matching(pool, figure2_topology(), 1) == []
+
+
+class TestISLIPScheduler:
+    def test_is_matching(self):
+        pool, *_ = conflict_pool()
+        matching = ISLIPScheduler().select_matching(pool, figure2_topology(), 10)
+        assert is_chunk_matching(matching)
+        assert len(matching) == 2
+
+    def test_empty_pool(self):
+        assert ISLIPScheduler().select_matching(PendingChunkPool(), figure2_topology(), 1) == []
+
+    def test_full_crossbar_gets_full_matching(self):
+        pool = PendingChunkPool()
+        pid = 0
+        for t in range(4):
+            for r in range(4):
+                add_chunk(pool, pid, 1.0, (f"t{t}", f"r{r}"))
+                pid += 1
+        matching = ISLIPScheduler(iterations=4).select_matching(pool, figure2_topology(), 1)
+        assert is_chunk_matching(matching)
+        assert len(matching) == 4
+
+    def test_pointers_desynchronise_round_robin(self):
+        # Two transmitters both want the single receiver; over two consecutive
+        # slots each should be served once.
+        scheduler = ISLIPScheduler()
+        served = []
+        pool = PendingChunkPool()
+        a = add_chunk(pool, 0, 1.0, ("tA", "r"))
+        b = add_chunk(pool, 1, 1.0, ("tB", "r"))
+        m1 = scheduler.select_matching(pool, figure2_topology(), 1)
+        served.append(m1[0].transmitter)
+        pool.remove(m1[0])
+        m2 = scheduler.select_matching(pool, figure2_topology(), 2)
+        served.append(m2[0].transmitter)
+        assert set(served) == {"tA", "tB"}
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            ISLIPScheduler(iterations=0)
+
+
+class TestPolicyFactories:
+    def test_standard_baseline_names(self):
+        policies = standard_baselines(seed=0)
+        assert set(policies) == {"fifo", "random", "maxweight", "islip", "shortest-path"}
+
+    def test_ablation_names(self):
+        assert set(ablation_policies()) == {"least-loaded+stable", "impact+fifo"}
+
+    def test_all_policies_includes_alg(self):
+        policies = all_policies(seed=0)
+        assert "alg" in policies
+        assert isinstance(policies["alg"], OpportunisticLinkScheduler)
+
+    def test_every_policy_completes_a_run(self):
+        topo = single_tier_crossbar(4)
+        packets = uniform_random_workload(topo, 30, arrival_rate=3.0, seed=2)
+        for name, policy in all_policies(seed=1).items():
+            result = simulate(topo, policy, packets)
+            assert result.all_delivered, name
+            assert result.total_weighted_latency > 0

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.network import projector_fabric
+from repro.workloads import uniform_random_workload, write_packet_trace
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.racks == 6 and args.workload == "zipf"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workload", "nope"])
+
+
+class TestFiguresCommand:
+    def test_reproduces_paper_numbers(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out
+        assert "p4" in out  # Π′ rows present
+
+
+class TestCompareCommand:
+    def test_small_comparison_runs(self, capsys):
+        code = main(["compare", "--racks", "4", "--packets", "30", "--workload", "uniform", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alg" in out and "fifo" in out
+        assert "ratio_to_alg" in out
+
+    def test_ablations_included_when_requested(self, capsys):
+        main(["compare", "--racks", "4", "--packets", "20", "--ablations", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "impact+fifo" in out
+
+
+class TestCompetitiveCommand:
+    def test_within_bound_exit_code(self, capsys):
+        code = main(
+            ["competitive", "--epsilon", "1.0", "--packets", "6", "--instances", "1", "--no-lp"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "True" in out
+
+    def test_invalid_epsilon(self, capsys):
+        assert main(["competitive", "--epsilon", "0"]) == 2
+
+
+class TestSimulateCommand:
+    def test_generated_workload(self, capsys):
+        code = main(
+            ["simulate", "--racks", "4", "--packets", "20", "--policy", "alg", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all delivered" in out and "True" in out
+
+    def test_trace_flag_prints_slots(self, capsys):
+        main(["simulate", "--racks", "4", "--packets", "10", "--trace", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert "slot 1" in out
+
+    def test_unknown_policy(self):
+        assert main(["simulate", "--policy", "bogus"]) == 2
+
+    def test_replay_trace_file(self, tmp_path, capsys):
+        topo = projector_fabric(num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=7)
+        packets = uniform_random_workload(topo, 15, seed=8)
+        path = write_packet_trace(packets, tmp_path / "trace.csv")
+        code = main(["simulate", "--racks", "4", "--seed", "7", "--input", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "15" in out
+
+    def test_baseline_policy_runs(self, capsys):
+        code = main(
+            ["simulate", "--racks", "4", "--packets", "15", "--policy", "maxweight", "--seed", "5"]
+        )
+        assert code == 0

@@ -1,0 +1,121 @@
+"""Tests for repro.core.queues.PendingChunkPool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, split_into_chunks
+from repro.core.queues import PendingChunkPool
+from repro.exceptions import SimulationError
+
+
+def make_chunks(pid: int, weight: float, edge=("t1", "r1"), arrival: int = 1, delay: int = 1):
+    packet = Packet(pid, "s", "d", weight=weight, arrival=arrival)
+    return split_into_chunks(packet, edge[0], edge[1], edge_delay=delay)
+
+
+class TestMutation:
+    def test_add_and_len(self):
+        pool = PendingChunkPool()
+        pool.add_all(make_chunks(0, 1.0, delay=3))
+        assert len(pool) == 3
+        assert not pool.is_empty()
+
+    def test_add_duplicate_rejected(self):
+        pool = PendingChunkPool()
+        chunk = make_chunks(0, 1.0)[0]
+        pool.add(chunk)
+        with pytest.raises(SimulationError):
+            pool.add(chunk)
+
+    def test_add_non_pending_rejected(self):
+        pool = PendingChunkPool()
+        chunk = make_chunks(0, 1.0)[0]
+        chunk.remaining_work = 0.0
+        with pytest.raises(SimulationError):
+            pool.add(chunk)
+
+    def test_remove(self):
+        pool = PendingChunkPool()
+        chunk = make_chunks(0, 1.0)[0]
+        pool.add(chunk)
+        pool.remove(chunk)
+        assert pool.is_empty()
+        assert chunk not in pool
+
+    def test_remove_absent_rejected(self):
+        pool = PendingChunkPool()
+        with pytest.raises(SimulationError):
+            pool.remove(make_chunks(0, 1.0)[0])
+
+    def test_clear(self):
+        pool = PendingChunkPool()
+        pool.add_all(make_chunks(0, 1.0, delay=2))
+        pool.clear()
+        assert pool.is_empty()
+        assert pool.busy_transmitters() == set()
+
+
+class TestQueries:
+    def test_chunks_on_edge_sorted_by_priority(self):
+        pool = PendingChunkPool()
+        light = make_chunks(0, 1.0)[0]
+        heavy = make_chunks(1, 5.0)[0]
+        pool.add(light)
+        pool.add(heavy)
+        ordered = pool.chunks_on_edge("t1", "r1")
+        assert ordered[0] is heavy and ordered[1] is light
+
+    def test_adjacent_chunks_by_transmitter_and_receiver(self):
+        pool = PendingChunkPool()
+        a = make_chunks(0, 1.0, edge=("t1", "r1"))[0]
+        b = make_chunks(1, 2.0, edge=("t1", "r2"))[0]
+        c = make_chunks(2, 3.0, edge=("t2", "r1"))[0]
+        d = make_chunks(3, 4.0, edge=("t2", "r2"))[0]
+        for chunk in (a, b, c, d):
+            pool.add(chunk)
+        adjacent = pool.adjacent_chunks("t1", "r1")
+        assert set(adjacent) == {a, b, c}
+
+    def test_eligible_chunks_respects_eligible_time(self):
+        pool = PendingChunkPool()
+        packet = Packet(0, "s", "d", weight=1.0, arrival=1)
+        late = split_into_chunks(packet, "t1", "r1", edge_delay=1, head_delay=5)[0]
+        early = make_chunks(1, 1.0, edge=("t2", "r2"))[0]
+        pool.add(late)
+        pool.add(early)
+        assert pool.eligible_chunks(now=1) == [early]
+        assert set(pool.eligible_chunks(now=6)) == {late, early}
+
+    def test_weight_aggregates(self):
+        pool = PendingChunkPool()
+        pool.add(make_chunks(0, 2.0, edge=("t1", "r1"))[0])
+        pool.add(make_chunks(1, 3.0, edge=("t1", "r2"))[0])
+        assert pool.total_weight() == pytest.approx(5.0)
+        assert pool.weight_at_transmitter("t1") == pytest.approx(5.0)
+        assert pool.weight_at_receiver("r1") == pytest.approx(2.0)
+        assert pool.weight_at_receiver("rX") == 0.0
+
+    def test_busy_sets(self):
+        pool = PendingChunkPool()
+        pool.add(make_chunks(0, 1.0, edge=("t1", "r2"))[0])
+        assert pool.busy_transmitters() == {"t1"}
+        assert pool.busy_receivers() == {"r2"}
+
+    def test_chunks_at_transmitter_and_receiver(self):
+        pool = PendingChunkPool()
+        a = make_chunks(0, 1.0, edge=("t1", "r1"))[0]
+        b = make_chunks(1, 2.0, edge=("t1", "r2"))[0]
+        pool.add(a)
+        pool.add(b)
+        assert set(pool.chunks_at_transmitter("t1")) == {a, b}
+        assert pool.chunks_at_receiver("r2") == [b]
+
+    def test_indices_cleaned_after_removal(self):
+        pool = PendingChunkPool()
+        chunk = make_chunks(0, 1.0)[0]
+        pool.add(chunk)
+        pool.remove(chunk)
+        assert pool.weight_at_transmitter("t1") == 0.0
+        assert pool.chunks_on_edge("t1", "r1") == []
+        assert pool.adjacent_chunks("t1", "r1") == []

@@ -1,0 +1,116 @@
+"""Tests for repro.core.scheduler and repro.core.algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    OpportunisticLinkScheduler,
+    OrderedGreedyScheduler,
+    StableMatchingScheduler,
+    theoretical_competitive_ratio,
+)
+from repro.core.packet import Packet, split_into_chunks
+from repro.core.queues import PendingChunkPool
+from repro.core.stable_matching import is_stable_matching
+from repro.network import figure2_topology
+
+
+def add_chunk(pool, pid, weight, edge, arrival=1, delay=1, head_delay=0):
+    packet = Packet(pid, "s", "d", weight=weight, arrival=arrival)
+    chunks = split_into_chunks(packet, edge[0], edge[1], edge_delay=delay, head_delay=head_delay)
+    pool.add_all(chunks)
+    return chunks
+
+
+class TestStableMatchingScheduler:
+    def test_empty_pool_gives_empty_matching(self):
+        scheduler = StableMatchingScheduler()
+        assert scheduler.select_matching(PendingChunkPool(), figure2_topology(), 1) == []
+
+    def test_selects_heaviest_on_conflict(self):
+        pool = PendingChunkPool()
+        add_chunk(pool, 0, 1.0, ("t", "r1"))
+        heavy = add_chunk(pool, 1, 9.0, ("t", "r2"))[0]
+        scheduler = StableMatchingScheduler()
+        matching = scheduler.select_matching(pool, figure2_topology(), 1)
+        assert matching == [heavy]
+
+    def test_output_is_stable(self):
+        pool = PendingChunkPool()
+        for pid, (w, edge) in enumerate(
+            [(3.0, ("t1", "r1")), (2.0, ("t1", "r2")), (5.0, ("t2", "r1")), (1.0, ("t3", "r3"))]
+        ):
+            add_chunk(pool, pid, w, edge)
+        scheduler = StableMatchingScheduler()
+        matching = scheduler.select_matching(pool, figure2_topology(), 1)
+        assert is_stable_matching(matching, pool.eligible_chunks(1))
+
+    def test_ineligible_chunks_not_scheduled(self):
+        pool = PendingChunkPool()
+        add_chunk(pool, 0, 5.0, ("t", "r"), head_delay=10)
+        scheduler = StableMatchingScheduler()
+        assert scheduler.select_matching(pool, figure2_topology(), 1) == []
+        assert len(scheduler.select_matching(pool, figure2_topology(), 11)) == 1
+
+    def test_one_chunk_per_edge(self):
+        pool = PendingChunkPool()
+        add_chunk(pool, 0, 2.0, ("t", "r"), delay=3)
+        scheduler = StableMatchingScheduler()
+        matching = scheduler.select_matching(pool, figure2_topology(), 1)
+        assert len(matching) == 1
+
+    def test_weight_tie_prefers_earlier_arrival(self):
+        pool = PendingChunkPool()
+        late = add_chunk(pool, 0, 2.0, ("t", "r1"), arrival=4)[0]
+        early = add_chunk(pool, 1, 2.0, ("t", "r2"), arrival=1)[0]
+        scheduler = StableMatchingScheduler()
+        matching = scheduler.select_matching(pool, figure2_topology(), 5)
+        assert matching == [early]
+
+
+class TestOrderedGreedyScheduler:
+    def test_custom_order_respected(self):
+        pool = PendingChunkPool()
+        old_light = add_chunk(pool, 0, 1.0, ("t", "r1"), arrival=1)[0]
+        new_heavy = add_chunk(pool, 1, 9.0, ("t", "r2"), arrival=5)[0]
+        fifo = OrderedGreedyScheduler(key=lambda c: (c.packet.arrival, c.packet.packet_id))
+        matching = fifo.select_matching(pool, figure2_topology(), 10)
+        assert matching == [old_light]
+        assert new_heavy not in matching
+
+    def test_name_override(self):
+        sched = OrderedGreedyScheduler(key=lambda c: c.packet.arrival, name="custom")
+        assert sched.name == "custom"
+
+
+class TestAlgorithmFactory:
+    def test_policy_components(self):
+        alg = OpportunisticLinkScheduler()
+        assert alg.dispatcher.name == "impact"
+        assert alg.scheduler.name == "stable-matching"
+        assert "stable-matching" in alg.name
+
+    def test_record_decisions_forwarded(self):
+        alg = OpportunisticLinkScheduler(record_decisions=True)
+        assert alg.impact_dispatcher.record_decisions
+
+    def test_reset_propagates(self):
+        alg = OpportunisticLinkScheduler(record_decisions=True)
+        alg.impact_dispatcher.decision_log.append({"dummy": 1})
+        alg.reset()
+        assert alg.impact_dispatcher.decision_log == []
+
+    def test_theoretical_ratio_values(self):
+        assert theoretical_competitive_ratio(2.0) == pytest.approx(4.0)
+        assert theoretical_competitive_ratio(1.0) == pytest.approx(6.0)
+        assert theoretical_competitive_ratio(0.5) == pytest.approx(10.0)
+
+    def test_theoretical_ratio_requires_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            theoretical_competitive_ratio(0.0)
+        with pytest.raises(ValueError):
+            theoretical_competitive_ratio(-1.0)
+
+    def test_ratio_decreases_with_epsilon(self):
+        assert theoretical_competitive_ratio(0.1) > theoretical_competitive_ratio(1.0) > theoretical_competitive_ratio(10.0)

@@ -1,0 +1,125 @@
+"""Tests for repro.core.stable_matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, split_into_chunks
+from repro.core.stable_matching import (
+    blocking_chunk,
+    greedy_stable_matching,
+    greedy_stable_matching_on_edges,
+    is_chunk_matching,
+    is_stable_edge_matching,
+    is_stable_matching,
+)
+
+
+def chunk(pid: int, weight: float, edge, arrival: int = 1):
+    packet = Packet(pid, "s", "d", weight=weight, arrival=arrival)
+    return split_into_chunks(packet, edge[0], edge[1], edge_delay=1)[0]
+
+
+class TestGreedyStableMatching:
+    def test_empty_input(self):
+        assert greedy_stable_matching([]) == []
+
+    def test_single_chunk_selected(self):
+        c = chunk(0, 1.0, ("t", "r"))
+        assert greedy_stable_matching([c]) == [c]
+
+    def test_conflict_resolved_by_weight(self):
+        heavy = chunk(0, 5.0, ("t", "r1"))
+        light = chunk(1, 1.0, ("t", "r2"))
+        selected = greedy_stable_matching([light, heavy])
+        assert heavy in selected and light not in selected
+
+    def test_non_conflicting_chunks_all_selected(self):
+        a = chunk(0, 1.0, ("t1", "r1"))
+        b = chunk(1, 2.0, ("t2", "r2"))
+        assert set(greedy_stable_matching([a, b])) == {a, b}
+
+    def test_weight_tie_broken_by_arrival(self):
+        early = chunk(1, 2.0, ("t", "r1"), arrival=1)
+        late = chunk(0, 2.0, ("t", "r2"), arrival=3)
+        selected = greedy_stable_matching([late, early])
+        assert early in selected and late not in selected
+
+    def test_result_is_matching_and_stable(self):
+        chunks = [
+            chunk(0, 3.0, ("t1", "r1")),
+            chunk(1, 2.0, ("t1", "r2")),
+            chunk(2, 5.0, ("t2", "r1")),
+            chunk(3, 1.0, ("t2", "r2")),
+            chunk(4, 4.0, ("t3", "r3")),
+        ]
+        selected = greedy_stable_matching(chunks)
+        assert is_chunk_matching(selected)
+        assert is_stable_matching(selected, chunks)
+
+    def test_receiver_conflict(self):
+        a = chunk(0, 3.0, ("t1", "r"))
+        b = chunk(1, 2.0, ("t2", "r"))
+        selected = greedy_stable_matching([a, b])
+        assert selected == [a]
+
+
+class TestStabilityVerifiers:
+    def test_non_matching_rejected(self):
+        a = chunk(0, 3.0, ("t", "r1"))
+        b = chunk(1, 2.0, ("t", "r2"))
+        assert not is_chunk_matching([a, b])
+        assert not is_stable_matching([a, b], [a, b])
+
+    def test_unstable_matching_detected(self):
+        heavy = chunk(0, 5.0, ("t1", "r1"))
+        light = chunk(1, 1.0, ("t2", "r2"))
+        # Selecting only the light chunk leaves the heavy one unblocked.
+        assert not is_stable_matching([light], [heavy, light])
+
+    def test_blocking_chunk_found(self):
+        heavy = chunk(0, 5.0, ("t", "r1"))
+        light = chunk(1, 1.0, ("t", "r2"))
+        assert blocking_chunk(light, [heavy]) is heavy
+
+    def test_blocking_chunk_none_for_disjoint(self):
+        a = chunk(0, 5.0, ("t1", "r1"))
+        b = chunk(1, 1.0, ("t2", "r2"))
+        assert blocking_chunk(b, [a]) is None
+
+    def test_lighter_chunk_does_not_block(self):
+        light = chunk(1, 1.0, ("t", "r2"))
+        heavy = chunk(0, 5.0, ("t", "r1"))
+        assert blocking_chunk(heavy, [light]) is None
+
+
+class TestEdgeLevelMatching:
+    def test_matches_figure2_pi(self):
+        # Edge weights as in Figure 2 for Π: (s1,d1)=1, (s1,d2)=2, (s2,d2)=3.
+        weights = {("t1", "r1"): 1.0, ("t1", "r2"): 2.0, ("t2", "r2"): 3.0}
+        matching = greedy_stable_matching_on_edges(weights)
+        assert ("t2", "r2") in matching and ("t1", "r1") in matching
+        assert ("t1", "r2") not in matching
+
+    def test_matches_figure2_pi_prime(self):
+        weights = {
+            ("t1", "r1"): 1.0,
+            ("t1", "r2"): 2.0,
+            ("t2", "r2"): 3.0,
+            ("t2", "r3"): 4.0,
+        }
+        matching = greedy_stable_matching_on_edges(weights)
+        assert set(matching) == {("t2", "r3"), ("t1", "r2")}
+
+    def test_stability_of_greedy_edge_matching(self):
+        weights = {(f"t{i}", f"r{j}"): float(i * 3 + j + 1) for i in range(3) for j in range(3)}
+        matching = greedy_stable_matching_on_edges(weights)
+        assert is_stable_edge_matching(matching, weights)
+
+    def test_unstable_edge_matching_detected(self):
+        weights = {("t1", "r1"): 1.0, ("t2", "r2"): 5.0}
+        assert not is_stable_edge_matching([("t1", "r1")], weights)
+
+    def test_non_matching_edge_set_detected(self):
+        weights = {("t1", "r1"): 1.0, ("t1", "r2"): 2.0}
+        assert not is_stable_edge_matching([("t1", "r1"), ("t1", "r2")], weights)

@@ -1,0 +1,150 @@
+"""Integration tests tying the paper's worked examples and claims together.
+
+These tests are the executable form of the EXPERIMENTS.md entries: Figure 1's
+costs, Figure 2's impact tables, the stable matchings of both figures, and the
+Theorem 1 bound on the standard workload suite (via the dual lower bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compute_charges, dual_lower_bound, solve_lp_lower_bound
+from repro.baselines import brute_force_optimal, standard_baselines
+from repro.core import OpportunisticLinkScheduler, theoretical_competitive_ratio
+from repro.experiments import compare_policies_on_instance, standard_projector_instances
+from repro.simulation import simulate
+from repro.workloads import (
+    figure1_instance,
+    figure1_reported_costs,
+    figure2_instances,
+    figure2_reported_impacts,
+)
+
+
+class TestFigure1Reproduction:
+    """E1: the Figure 1 worked example."""
+
+    def test_optimal_cost_is_seven(self):
+        assert brute_force_optimal(figure1_instance()).cost == pytest.approx(
+            figure1_reported_costs()["optimal_solution"]
+        )
+
+    def test_lp_relaxation_matches_integral_optimum(self):
+        assert solve_lp_lower_bound(figure1_instance(), capacity=1.0).objective_value == pytest.approx(
+            7.0, abs=1e-6
+        )
+
+    def test_paper_feasible_schedule_costs_nine(self):
+        # The schedule tabulated in Figure 1 routes p5 over the fixed link
+        # (latency 4) and p1..p4 over the reconfigurable network in two slots.
+        instance = figure1_instance()
+        packets = {p.packet_id: p for p in instance.packets}
+        reconfig_latencies = {0: 1, 1: 2, 2: 1, 3: 1}
+        fixed_latency = instance.topology.fixed_link_delay("s2", "d3")
+        cost = sum(
+            packets[pid].weight * latency for pid, latency in reconfig_latencies.items()
+        ) + packets[4].weight * fixed_latency
+        assert cost == pytest.approx(figure1_reported_costs()["feasible_solution"])
+
+    def test_alg_achieves_optimal_cost_on_figure1(self):
+        instance = figure1_instance()
+        result = simulate(instance.topology, OpportunisticLinkScheduler(), instance.packets)
+        assert result.total_weighted_latency == pytest.approx(7.0)
+        assert result.all_delivered
+
+    def test_alg_routes_p5_over_reconfigurable_network(self):
+        instance = figure1_instance()
+        result = simulate(instance.topology, OpportunisticLinkScheduler(), instance.packets)
+        # The optimal choice from the paper: p5 goes over (t3, r4), not the fixed link.
+        record = result.record(4)
+        assert not record.used_fixed_link
+        assert record.assignment.edge == ("t3", "r4")
+
+    def test_alg_schedule_slot_by_slot(self):
+        instance = figure1_instance()
+        result = simulate(
+            instance.topology, OpportunisticLinkScheduler(), instance.packets, record_trace=True
+        )
+        assert result.trace.slot(1).matching_size == 2
+        assert result.trace.slot(2).matching_size == 2
+        assert result.trace.slot(3).matching_size == 1
+        assert result.num_slots == 3
+
+
+class TestFigure2Reproduction:
+    """E2: the Figure 2 dispatcher-impact example."""
+
+    @pytest.mark.parametrize("key", ["pi", "pi_prime"])
+    def test_realised_impacts_match_paper_table(self, key):
+        instance = figure2_instances()[key]
+        result = simulate(
+            instance.topology, OpportunisticLinkScheduler(), instance.packets, record_trace=True
+        )
+        charges = compute_charges(result)
+        for pid, expected in figure2_reported_impacts()[key].items():
+            assert charges.charge(pid) == pytest.approx(expected)
+
+    def test_stable_matching_changes_with_p4(self):
+        # Without p4, packets p1 and p3 are transmitted in slot 1; with p4,
+        # the slot-1 stable matching becomes {p4, p2} (Figure 2's point).
+        instances = figure2_instances()
+        res_pi = simulate(
+            instances["pi"].topology,
+            OpportunisticLinkScheduler(),
+            instances["pi"].packets,
+            record_trace=True,
+        )
+        res_prime = simulate(
+            instances["pi_prime"].topology,
+            OpportunisticLinkScheduler(),
+            instances["pi_prime"].packets,
+            record_trace=True,
+        )
+        slot1_pi = {ev.packet_id for ev in res_pi.trace.slot(1).transmissions}
+        slot1_prime = {ev.packet_id for ev in res_prime.trace.slot(1).transmissions}
+        assert slot1_pi == {0, 2}
+        assert slot1_prime == {1, 3}
+
+    def test_total_cost_matches_hand_computation(self):
+        instances = figure2_instances()
+        res_pi = simulate(
+            instances["pi"].topology, OpportunisticLinkScheduler(), instances["pi"].packets
+        )
+        res_prime = simulate(
+            instances["pi_prime"].topology,
+            OpportunisticLinkScheduler(),
+            instances["pi_prime"].packets,
+        )
+        # Π: p1, p3 in slot 1, p2 in slot 2 -> 1 + 3 + 4 = 8.
+        assert res_pi.total_weighted_latency == pytest.approx(8.0)
+        # Π′: p2, p4 in slot 1, p1, p3 in slot 2 -> 2 + 4 + 2 + 6 = 14.
+        assert res_prime.total_weighted_latency == pytest.approx(14.0)
+
+
+class TestTheorem1OnWorkloadSuite:
+    """E5 (dual-bound variant): the guarantee holds on realistic workloads."""
+
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+    def test_bound_holds_on_every_suite_instance(self, epsilon):
+        suite = standard_projector_instances(num_racks=4, num_packets=60, seed=7)
+        bound = theoretical_competitive_ratio(epsilon)
+        for name, instance in suite.items():
+            result = simulate(
+                instance.topology, OpportunisticLinkScheduler(), instance.packets
+            )
+            lower = dual_lower_bound(result, epsilon)
+            assert lower > 0, name
+            assert result.total_weighted_latency / lower <= bound + 1e-6, name
+
+
+class TestBaselineOrdering:
+    """E7 sanity: ALG is never the worst policy on the skewed suite."""
+
+    def test_alg_not_worst_on_skewed_traffic(self):
+        suite = standard_projector_instances(num_racks=4, num_packets=80, seed=3)
+        policies = {"alg": OpportunisticLinkScheduler(), **standard_baselines(seed=0)}
+        for name in ("zipf", "elephant-mice"):
+            rows = compare_policies_on_instance(suite[name], policies)
+            ordered = [row.policy for row in rows]
+            assert ordered.index("alg") < len(ordered) - 1, rows

@@ -1,0 +1,157 @@
+"""Tests for repro.network.builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import (
+    add_uniform_fixed_links,
+    figure1_topology,
+    figure2_topology,
+    projector_fabric,
+    random_bipartite,
+    single_tier_crossbar,
+)
+from repro.workloads import routable_pairs
+
+
+class TestCrossbar:
+    def test_dimensions(self):
+        topo = single_tier_crossbar(4)
+        assert len(topo.sources) == 4
+        assert len(topo.transmitters) == 4
+        assert len(topo.reconfigurable_edges) == 16
+
+    def test_every_pair_routable(self):
+        topo = single_tier_crossbar(3)
+        for s in topo.sources:
+            for d in topo.destinations:
+                assert topo.can_route(s, d)
+
+    def test_single_transmitter_per_source(self):
+        topo = single_tier_crossbar(5)
+        for s in topo.sources:
+            assert len(topo.transmitters_of_source(s)) == 1
+
+    def test_custom_delay(self):
+        topo = single_tier_crossbar(2, delay=3)
+        assert all(topo.edge_delay(t, r) == 3 for (t, r) in topo.reconfigurable_edges)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            single_tier_crossbar(0)
+
+
+class TestProjectorFabric:
+    def test_counts(self):
+        topo = projector_fabric(num_racks=4, lasers_per_rack=2, photodetectors_per_rack=3)
+        assert len(topo.sources) == 4
+        assert len(topo.transmitters) == 8
+        assert len(topo.receivers) == 12
+
+    def test_full_connectivity_edges(self):
+        topo = projector_fabric(num_racks=3, lasers_per_rack=2, photodetectors_per_rack=2)
+        # 3 racks, each pair (i != j): 2*2 edges -> 6 ordered pairs * 4 = 24.
+        assert len(topo.reconfigurable_edges) == 24
+
+    def test_no_self_rack_edges(self):
+        topo = projector_fabric(num_racks=3)
+        for (t, r) in topo.reconfigurable_edges:
+            assert t.split(":")[0] != r.split(":")[0]
+
+    def test_partial_connectivity_keeps_routability(self):
+        topo = projector_fabric(num_racks=5, connectivity=0.2, seed=1)
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    assert topo.can_route(f"rack{i}:src", f"rack{j}:dst")
+
+    def test_partial_connectivity_reduces_edges(self):
+        full = projector_fabric(num_racks=5, lasers_per_rack=3, photodetectors_per_rack=3)
+        sparse = projector_fabric(
+            num_racks=5, lasers_per_rack=3, photodetectors_per_rack=3, connectivity=0.3, seed=2
+        )
+        assert len(sparse.reconfigurable_edges) < len(full.reconfigurable_edges)
+
+    def test_requires_two_racks(self):
+        with pytest.raises(TopologyError):
+            projector_fabric(num_racks=1)
+
+    def test_deterministic_given_seed(self):
+        a = projector_fabric(num_racks=4, connectivity=0.5, seed=9)
+        b = projector_fabric(num_racks=4, connectivity=0.5, seed=9)
+        assert a.reconfigurable_edges == b.reconfigurable_edges
+
+
+class TestRandomBipartite:
+    def test_all_pairs_routable(self):
+        topo = random_bipartite(3, 4, edge_probability=0.1, seed=0)
+        assert len(routable_pairs(topo)) == 12
+
+    def test_delay_choices_respected(self):
+        topo = random_bipartite(3, 3, delay_choices=(2, 5), seed=1)
+        delays = {topo.edge_delay(t, r) for (t, r) in topo.reconfigurable_edges}
+        assert delays <= {2, 5}
+
+    def test_invalid_delay_choices(self):
+        with pytest.raises(TopologyError):
+            random_bipartite(2, 2, delay_choices=(0,))
+
+    def test_deterministic_given_seed(self):
+        a = random_bipartite(3, 3, edge_probability=0.4, seed=5)
+        b = random_bipartite(3, 3, edge_probability=0.4, seed=5)
+        assert a == b
+
+    def test_multiple_transmitters_per_source(self):
+        topo = random_bipartite(2, 2, transmitters_per_source=3, receivers_per_destination=2, seed=2)
+        assert len(topo.transmitters) == 6
+        assert len(topo.receivers) == 4
+
+
+class TestFixedLinkAugmentation:
+    def test_adds_links_for_all_pairs(self):
+        base = projector_fabric(num_racks=3)
+        hybrid = add_uniform_fixed_links(
+            base, delay=5, pair_filter=lambda s, d: s.split(":")[0] != d.split(":")[0]
+        )
+        assert len(hybrid.fixed_links) == 6
+        assert all(d == 5 for d in hybrid.fixed_links.values())
+
+    def test_original_not_modified(self):
+        base = projector_fabric(num_racks=3)
+        add_uniform_fixed_links(base, delay=5)
+        assert len(base.fixed_links) == 0
+
+    def test_preserves_edges_and_delays(self):
+        base = random_bipartite(2, 2, delay_choices=(3,), seed=0)
+        hybrid = add_uniform_fixed_links(base, delay=4)
+        assert set(hybrid.reconfigurable_edges) == set(base.reconfigurable_edges)
+        assert all(hybrid.edge_delay(t, r) == 3 for (t, r) in hybrid.reconfigurable_edges)
+
+    def test_existing_fixed_links_kept(self):
+        base = figure1_topology()
+        hybrid = add_uniform_fixed_links(base, delay=9)
+        assert hybrid.fixed_link_delay("s2", "d3") == 4  # pre-existing link untouched
+
+    def test_invalid_delay(self):
+        with pytest.raises(TopologyError):
+            add_uniform_fixed_links(figure1_topology(), delay=0)
+
+
+class TestPaperTopologies:
+    def test_figure1_structure(self):
+        topo = figure1_topology()
+        assert set(topo.candidate_edges("s2", "d2")) == {("t3", "r3")}
+        assert set(topo.candidate_edges("s1", "d2")) == {("t1", "r2")}
+        assert topo.has_fixed_link("s2", "d3")
+        assert topo.fixed_link_delay("s2", "d3") == 4
+
+    def test_figure2_structure(self):
+        topo = figure2_topology()
+        assert len(topo.candidate_edges("s1", "d1")) == 1
+        assert len(topo.candidate_edges("s1", "d2")) == 1
+        assert len(topo.candidate_edges("s2", "d2")) == 1
+        assert len(topo.candidate_edges("s2", "d3")) == 1
+        assert not topo.can_route("s1", "d3")
+        assert len(topo.fixed_links) == 0

@@ -1,0 +1,66 @@
+"""Tests for repro.network.serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import (
+    figure1_topology,
+    load_topology,
+    projector_fabric,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_equality_figure1(self):
+        topo = figure1_topology()
+        assert topology_from_dict(topology_to_dict(topo)) == topo
+
+    def test_roundtrip_equality_projector(self):
+        topo = projector_fabric(num_racks=3, seed=4)
+        assert topology_from_dict(topology_to_dict(topo)) == topo
+
+    def test_dict_is_json_compatible(self):
+        data = topology_to_dict(figure1_topology())
+        json.dumps(data)  # must not raise
+
+    def test_roundtrip_preserves_delays(self):
+        topo = figure1_topology()
+        clone = topology_from_dict(topology_to_dict(topo))
+        assert clone.fixed_link_delay("s2", "d3") == 4
+        assert clone.edge_delay("t1", "r1") == 1
+
+    def test_unknown_version_rejected(self):
+        data = topology_to_dict(figure1_topology())
+        data["format_version"] = 99
+        with pytest.raises(TopologyError):
+            topology_from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = topology_to_dict(figure1_topology())
+        del data["transmitters"]
+        with pytest.raises(TopologyError):
+            topology_from_dict(data)
+
+    def test_roundtrip_result_is_frozen(self):
+        clone = topology_from_dict(topology_to_dict(figure1_topology()))
+        assert clone.frozen
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        topo = figure1_topology()
+        path = save_topology(topo, tmp_path / "topo.json")
+        assert load_topology(path) == topo
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TopologyError):
+            load_topology(path)

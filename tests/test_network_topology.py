@@ -1,0 +1,193 @@
+"""Tests for repro.network.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import TwoTierTopology, figure1_topology
+
+
+def build_basic() -> TwoTierTopology:
+    topo = TwoTierTopology(name="basic")
+    topo.add_source("s1")
+    topo.add_destination("d1")
+    topo.add_transmitter("t1", "s1", head_delay=1)
+    topo.add_receiver("r1", "d1", tail_delay=2)
+    topo.add_reconfigurable_edge("t1", "r1", delay=3)
+    topo.add_fixed_link("s1", "d1", delay=7)
+    return topo
+
+
+class TestConstruction:
+    def test_layers_recorded(self):
+        topo = build_basic()
+        assert topo.sources == ("s1",)
+        assert topo.destinations == ("d1",)
+        assert topo.transmitters == ("t1",)
+        assert topo.receivers == ("r1",)
+
+    def test_duplicate_node_rejected(self):
+        topo = build_basic()
+        with pytest.raises(TopologyError):
+            topo.add_source("s1")
+        with pytest.raises(TopologyError):
+            topo.add_transmitter("t1", "s1")
+
+    def test_transmitter_requires_known_source(self):
+        topo = TwoTierTopology()
+        topo.add_source("s1")
+        topo.add_destination("d1")
+        with pytest.raises(TopologyError):
+            topo.add_transmitter("t1", "sX")
+
+    def test_receiver_requires_known_destination(self):
+        topo = TwoTierTopology()
+        topo.add_source("s1")
+        topo.add_destination("d1")
+        with pytest.raises(TopologyError):
+            topo.add_receiver("r1", "dX")
+
+    def test_edge_delay_must_be_positive_int(self):
+        topo = build_basic()
+        topo.add_transmitter("t2", "s1")
+        topo.add_receiver("r2", "d1")
+        with pytest.raises(TopologyError):
+            topo.add_reconfigurable_edge("t2", "r2", delay=0)
+        with pytest.raises(TopologyError):
+            topo.add_reconfigurable_edge("t2", "r2", delay=1.5)  # type: ignore[arg-type]
+
+    def test_duplicate_edge_rejected(self):
+        topo = build_basic()
+        with pytest.raises(TopologyError):
+            topo.add_reconfigurable_edge("t1", "r1", delay=1)
+
+    def test_fixed_link_requires_valid_endpoints(self):
+        topo = build_basic()
+        with pytest.raises(TopologyError):
+            topo.add_fixed_link("sX", "d1", delay=1)
+        with pytest.raises(TopologyError):
+            topo.add_fixed_link("s1", "d1", delay=2)  # duplicate
+
+    def test_empty_node_name_rejected(self):
+        topo = TwoTierTopology()
+        with pytest.raises(TopologyError):
+            topo.add_source("")
+
+    def test_negative_head_delay_rejected(self):
+        topo = TwoTierTopology()
+        topo.add_source("s")
+        with pytest.raises(TopologyError):
+            topo.add_transmitter("t", "s", head_delay=-1)
+
+    def test_freeze_prevents_mutation(self):
+        topo = build_basic()
+        topo.freeze()
+        assert topo.frozen
+        with pytest.raises(TopologyError):
+            topo.add_source("s2")
+
+    def test_validate_empty_topology_fails(self):
+        with pytest.raises(TopologyError):
+            TwoTierTopology().validate()
+
+
+class TestQueries:
+    def test_attachments(self):
+        topo = build_basic().freeze()
+        assert topo.source_of("t1") == "s1"
+        assert topo.destination_of("r1") == "d1"
+        assert topo.transmitters_of_source("s1") == ("t1",)
+        assert topo.receivers_of_destination("d1") == ("r1",)
+
+    def test_adjacency(self):
+        topo = build_basic().freeze()
+        assert topo.receivers_of("t1") == ("r1",)
+        assert topo.transmitters_of("r1") == ("t1",)
+
+    def test_delays(self):
+        topo = build_basic().freeze()
+        assert topo.edge_delay("t1", "r1") == 3
+        assert topo.head_delay("t1") == 1
+        assert topo.tail_delay("r1") == 2
+        assert topo.path_delay("t1", "r1") == 6
+
+    def test_edge_view(self):
+        topo = build_basic().freeze()
+        view = topo.edge_view("t1", "r1")
+        assert view.edge == ("t1", "r1")
+        assert view.path_delay == 6
+        assert view.source == "s1" and view.destination == "d1"
+
+    def test_candidate_edges(self):
+        topo = build_basic().freeze()
+        assert topo.candidate_edges("s1", "d1") == [("t1", "r1")]
+
+    def test_candidate_edges_unknown_nodes(self):
+        topo = build_basic().freeze()
+        with pytest.raises(TopologyError):
+            topo.candidate_edges("sX", "d1")
+        with pytest.raises(TopologyError):
+            topo.candidate_edges("s1", "dX")
+
+    def test_fixed_link_queries(self):
+        topo = build_basic().freeze()
+        assert topo.has_fixed_link("s1", "d1")
+        assert topo.fixed_link_delay("s1", "d1") == 7
+        assert not topo.has_fixed_link("s1", "dX") is True  # missing pair is just False
+        with pytest.raises(TopologyError):
+            topo.fixed_link_delay("s1", "d2")
+
+    def test_can_route(self):
+        topo = figure1_topology()
+        assert topo.can_route("s1", "d1")
+        assert topo.can_route("s2", "d3")  # fixed link and edge
+        assert not topo.can_route("s1", "d3")
+
+    def test_unknown_node_queries_raise(self):
+        topo = build_basic().freeze()
+        with pytest.raises(TopologyError):
+            topo.source_of("tX")
+        with pytest.raises(TopologyError):
+            topo.edge_delay("t1", "rX")
+        with pytest.raises(TopologyError):
+            topo.head_delay("tX")
+
+    def test_num_nodes_and_stats(self):
+        topo = figure1_topology()
+        assert topo.num_nodes() == 2 + 3 + 3 + 4
+        stats = topo.degree_statistics()
+        assert stats["num_edges"] == 5
+        assert stats["max_transmitter_degree"] >= 2
+
+    def test_max_path_delay(self):
+        topo = build_basic().freeze()
+        assert topo.max_path_delay() == 6
+
+
+class TestExportAndEquality:
+    def test_to_networkx_layers_and_edges(self):
+        g = figure1_topology().to_networkx()
+        assert g.nodes["s1"]["layer"] == "source"
+        assert g.nodes["r4"]["layer"] == "receiver"
+        assert g.edges[("t1", "r1")]["kind"] == "reconfigurable"
+        assert g.edges[("s2", "d3")]["kind"] == "fixed"
+        # attachment edges exist
+        assert g.has_edge("s1", "t1") and g.has_edge("r1", "d1")
+
+    def test_bipartite_export(self):
+        g = figure1_topology().reconfigurable_bipartite_graph()
+        assert g.number_of_edges() == 5
+        assert g.nodes["t1"]["bipartite"] == 0
+        assert g.nodes["r1"]["bipartite"] == 1
+
+    def test_equality_same_structure(self):
+        assert figure1_topology() == figure1_topology()
+
+    def test_equality_different_structure(self):
+        a = build_basic().freeze()
+        b = figure1_topology()
+        assert a != b
+
+    def test_repr_mentions_counts(self):
+        assert "sources=2" in repr(figure1_topology())

@@ -1,0 +1,110 @@
+"""Property-based tests for the dual-fitting analysis on random instances.
+
+These are the numerical counterparts of Lemmas 1, 2, 4, 5 and Theorem 1: for
+every randomly generated instance, the certificate extracted from an ALG run
+must be internally consistent and the measured cost must respect the bounds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    attach_decision_log,
+    build_dual_solution,
+    check_dual_feasibility,
+    check_lemma2,
+    verify_certificate,
+)
+from repro.core import OpportunisticLinkScheduler, Packet
+from repro.network import random_bipartite
+from repro.simulation import simulate
+from repro.workloads import Instance
+
+
+@st.composite
+def small_instances(draw):
+    """Random instances small enough for the full dual-feasibility scan."""
+    topo_seed = draw(st.integers(min_value=0, max_value=5_000))
+    delays = draw(st.sampled_from([(1,), (1, 2), (2, 3)]))
+    topology = random_bipartite(
+        draw(st.integers(min_value=2, max_value=3)),
+        draw(st.integers(min_value=2, max_value=3)),
+        transmitters_per_source=draw(st.integers(min_value=1, max_value=2)),
+        receivers_per_destination=1,
+        edge_probability=0.7,
+        delay_choices=delays,
+        seed=topo_seed,
+    )
+    pairs = [
+        (s, d)
+        for s in topology.sources
+        for d in topology.destinations
+        if topology.can_route(s, d)
+    ]
+    n = draw(st.integers(min_value=1, max_value=12))
+    packets = []
+    for pid in range(n):
+        s, d = pairs[draw(st.integers(min_value=0, max_value=len(pairs) - 1))]
+        packets.append(
+            Packet(
+                packet_id=pid,
+                source=s,
+                destination=d,
+                weight=draw(
+                    st.floats(min_value=0.5, max_value=10.0, allow_nan=False)
+                ),
+                arrival=draw(st.integers(min_value=1, max_value=5)),
+            )
+        )
+    return Instance(name="dual-prop", topology=topology, packets=packets)
+
+
+def run_traced(instance):
+    policy = OpportunisticLinkScheduler(record_decisions=True)
+    result = simulate(instance.topology, policy, instance.packets, record_trace=True)
+    attach_decision_log(result, policy.impact_dispatcher)
+    return result
+
+
+class TestDualFittingProperties:
+    @given(small_instances(), st.sampled_from([0.5, 1.0, 2.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_certificate_always_valid(self, instance, epsilon):
+        result = run_traced(instance)
+        cert = verify_certificate(
+            result, instance.topology, epsilon=epsilon, check_lemma4_constraints=True
+        )
+        assert cert.valid
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_equalities(self, instance):
+        result = run_traced(instance)
+        dual = build_dual_solution(result)
+        reconf = sum(r.weighted_latency for r in result if not r.used_fixed_link)
+        assert abs(dual.total_beta_transmitter - reconf) < 1e-6
+        assert abs(dual.total_beta_receiver - reconf) < 1e-6
+        assert result.total_weighted_latency >= reconf - 1e-9
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma2_per_packet_charges(self, instance):
+        result = run_traced(instance)
+        report = check_lemma2(result)
+        assert report.holds
+
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_halved_dual_always_feasible(self, instance):
+        result = run_traced(instance)
+        assert check_dual_feasibility(result, instance.topology, scale=0.5) == []
+
+    @given(small_instances(), st.sampled_from([0.5, 1.0, 4.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma3_bound(self, instance, epsilon):
+        result = run_traced(instance)
+        dual = build_dual_solution(result)
+        lemma3_bound = (2.0 + epsilon) / epsilon * dual.objective(epsilon)
+        assert result.total_weighted_latency <= lemma3_bound + 1e-6

@@ -1,0 +1,99 @@
+"""Property-based tests for the stable-matching scheduler and the chunk order."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import Packet, split_into_chunks
+from repro.core.stable_matching import (
+    blocking_chunk,
+    greedy_stable_matching,
+    greedy_stable_matching_on_edges,
+    is_chunk_matching,
+    is_stable_edge_matching,
+    is_stable_matching,
+)
+from repro.utils.ordering import chunk_priority_key
+
+
+@st.composite
+def chunk_sets(draw, max_chunks=20, max_nodes=6):
+    """Random sets of single-chunk packets over a small transmitter/receiver grid."""
+    n = draw(st.integers(min_value=0, max_value=max_chunks))
+    chunks = []
+    for pid in range(n):
+        t = draw(st.integers(min_value=0, max_value=max_nodes - 1))
+        r = draw(st.integers(min_value=0, max_value=max_nodes - 1))
+        weight = draw(st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+        arrival = draw(st.integers(min_value=1, max_value=10))
+        packet = Packet(pid, "s", "d", weight=weight, arrival=arrival)
+        chunks.append(split_into_chunks(packet, f"t{t}", f"r{r}", edge_delay=1)[0])
+    return chunks
+
+
+class TestGreedyStableMatchingProperties:
+    @given(chunk_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_output_is_matching(self, chunks):
+        assert is_chunk_matching(greedy_stable_matching(chunks))
+
+    @given(chunk_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_output_is_stable(self, chunks):
+        matching = greedy_stable_matching(chunks)
+        assert is_stable_matching(matching, chunks)
+
+    @given(chunk_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_every_skipped_chunk_has_blocker(self, chunks):
+        matching = greedy_stable_matching(chunks)
+        selected = set(matching)
+        for chunk in chunks:
+            if chunk not in selected:
+                blocker = blocking_chunk(chunk, matching)
+                assert blocker is not None
+                # The blocker never has lower priority than the blocked chunk.
+                assert chunk_priority_key(blocker) <= chunk_priority_key(chunk)
+
+    @given(chunk_sets())
+    @settings(max_examples=200, deadline=None)
+    def test_matching_is_maximal(self, chunks):
+        matching = greedy_stable_matching(chunks)
+        used_t = {c.transmitter for c in matching}
+        used_r = {c.receiver for c in matching}
+        for chunk in chunks:
+            if chunk not in matching:
+                assert chunk.transmitter in used_t or chunk.receiver in used_r
+
+    @given(chunk_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, chunks):
+        first = greedy_stable_matching(chunks)
+        second = greedy_stable_matching(list(reversed(chunks)))
+        assert first == second
+
+    @given(chunk_sets(max_chunks=12))
+    @settings(max_examples=100, deadline=None)
+    def test_heaviest_chunk_always_selected(self, chunks):
+        if not chunks:
+            return
+        best = min(chunks, key=chunk_priority_key)
+        assert best in greedy_stable_matching(chunks)
+
+
+class TestEdgeLevelMatchingProperties:
+    @given(
+        st.dictionaries(
+            keys=st.tuples(
+                st.sampled_from([f"t{i}" for i in range(5)]),
+                st.sampled_from([f"r{i}" for i in range(5)]),
+            ),
+            values=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_edge_matching_stable(self, edge_weights):
+        matching = greedy_stable_matching_on_edges(edge_weights)
+        assert is_stable_edge_matching(matching, edge_weights)

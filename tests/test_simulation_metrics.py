@@ -1,0 +1,120 @@
+"""Tests for repro.simulation.metrics and repro.simulation.results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OpportunisticLinkScheduler, Packet
+from repro.simulation import (
+    compare_policies,
+    completion_time_statistics,
+    latency_statistics,
+    matching_occupancy,
+    per_source_latency,
+    recompute_weighted_latency,
+    simulate,
+)
+from repro.baselines import make_fifo_policy
+from repro.workloads import figure1_instance, uniform_random_workload
+
+
+@pytest.fixture
+def fig1_result(fig1_instance):
+    return simulate(fig1_instance.topology, OpportunisticLinkScheduler(), fig1_instance.packets)
+
+
+class TestResultAccessors:
+    def test_summary_fields(self, fig1_result):
+        summary = fig1_result.summary()
+        assert summary["num_packets"] == 5
+        assert summary["total_weighted_latency"] == pytest.approx(7.0)
+        assert 0 <= summary["fixed_link_fraction"] <= 1
+
+    def test_total_alpha(self, fig1_result):
+        assert fig1_result.total_alpha == pytest.approx(sum(r.alpha for r in fig1_result))
+
+    def test_packets_sorted_by_id(self, fig1_result):
+        ids = [p.packet_id for p in fig1_result.packets]
+        assert ids == sorted(ids)
+
+    def test_flow_completion_times(self, fig1_result):
+        fct = fig1_result.flow_completion_times()
+        assert len(fct) == 5
+        assert all(v >= 1 for v in fct)
+
+    def test_chunk_records_only_reconfigurable(self, fig1_result):
+        chunks = fig1_result.chunk_records()
+        assert len(chunks) == 5  # all five packets used delay-1 edges
+        assert all(c.delivered for c in chunks)
+
+    def test_record_lookup(self, fig1_result):
+        assert fig1_result.record(4).packet.packet_id == 4
+        with pytest.raises(KeyError):
+            fig1_result.record(99)
+
+    def test_incomplete_record_raises_on_fct(self):
+        from repro.core.packet import EdgeAssignment, split_into_chunks
+        from repro.simulation.results import PacketRecord
+
+        p = Packet(0, "s", "d", 1.0, 1)
+        rec = PacketRecord(
+            packet=p,
+            assignment=EdgeAssignment(p, "t", "r", 1, 1.0, split_into_chunks(p, "t", "r", 1)),
+        )
+        assert not rec.delivered
+        with pytest.raises(ValueError):
+            _ = rec.flow_completion_time
+
+
+class TestMetrics:
+    def test_latency_statistics_consistency(self, fig1_result):
+        stats = latency_statistics(fig1_result)
+        assert stats.count == 5
+        assert stats.total == pytest.approx(7.0)
+        assert stats.maximum >= stats.median >= 0
+        assert stats.as_dict()["total"] == pytest.approx(7.0)
+
+    def test_completion_time_statistics(self, fig1_result):
+        stats = completion_time_statistics(fig1_result)
+        assert stats.count == 5
+        assert stats.maximum == pytest.approx(2.0)
+
+    def test_empty_statistics(self, line_topology):
+        result = simulate(line_topology, OpportunisticLinkScheduler(), [])
+        stats = latency_statistics(result)
+        assert stats.count == 0 and stats.total == 0.0
+
+    def test_matching_occupancy(self, fig1_result):
+        occ = matching_occupancy(fig1_result)
+        assert 0 < occ["mean"] <= occ["max"] <= 4
+        assert occ["nonempty_fraction"] == 1.0
+
+    def test_recompute_matches_engine_accounting(self, small_instance):
+        result = simulate(
+            small_instance.topology, OpportunisticLinkScheduler(), small_instance.packets
+        )
+        assert recompute_weighted_latency(result) == pytest.approx(
+            result.total_weighted_latency
+        )
+
+    def test_recompute_matches_on_figure1(self, fig1_result):
+        assert recompute_weighted_latency(fig1_result) == pytest.approx(7.0)
+
+    def test_per_source_latency_sums_to_total(self, fig1_result):
+        by_source = per_source_latency(fig1_result)
+        assert sum(by_source.values()) == pytest.approx(7.0)
+        assert set(by_source) == {"s1", "s2"}
+
+    def test_compare_policies_ratios(self, small_instance):
+        alg = simulate(
+            small_instance.topology, OpportunisticLinkScheduler(), small_instance.packets
+        )
+        fifo = simulate(small_instance.topology, make_fifo_policy(), small_instance.packets)
+        rows = compare_policies([alg, fifo])
+        assert len(rows) == 2
+        best = min(r["total_weighted_latency"] for r in rows)
+        assert all(r["ratio_to_best"] >= 1.0 - 1e-12 for r in rows)
+        assert any(r["total_weighted_latency"] == best for r in rows)
+
+    def test_compare_policies_empty(self):
+        assert compare_policies([]) == []

@@ -1,0 +1,124 @@
+"""Tests for repro.utils.ordering, validation and tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, split_into_chunks
+from repro.utils.ordering import chunk_outranks, chunk_priority_key, packet_priority_key
+from repro.utils.tables import format_csv, format_table
+from repro.utils.validation import (
+    check_finite,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+def _chunk(weight: float, arrival: int, pid: int = 0, delay: int = 1):
+    packet = Packet(packet_id=pid, source="s", destination="d", weight=weight * delay, arrival=arrival)
+    return split_into_chunks(packet, "t", "r", edge_delay=delay)[0]
+
+
+class TestOrdering:
+    def test_heavier_chunk_first(self):
+        heavy = _chunk(5.0, arrival=3, pid=1)
+        light = _chunk(1.0, arrival=1, pid=0)
+        assert chunk_priority_key(heavy) < chunk_priority_key(light)
+
+    def test_tie_broken_by_arrival(self):
+        early = _chunk(2.0, arrival=1, pid=1)
+        late = _chunk(2.0, arrival=5, pid=0)
+        assert chunk_priority_key(early) < chunk_priority_key(late)
+
+    def test_tie_broken_by_packet_id(self):
+        first = _chunk(2.0, arrival=1, pid=0)
+        second = _chunk(2.0, arrival=1, pid=1)
+        assert chunk_priority_key(first) < chunk_priority_key(second)
+
+    def test_chunk_outranks(self):
+        heavy = _chunk(5.0, arrival=3, pid=1)
+        light = _chunk(1.0, arrival=1, pid=0)
+        assert chunk_outranks(heavy, light)
+        assert not chunk_outranks(light, heavy)
+
+    def test_packet_priority_key(self):
+        heavy = Packet(0, "s", "d", weight=9.0, arrival=4)
+        light = Packet(1, "s", "d", weight=1.0, arrival=1)
+        assert packet_priority_key(heavy) < packet_priority_key(light)
+
+    def test_chunk_index_breaks_final_tie(self):
+        packet = Packet(0, "s", "d", weight=4.0, arrival=1)
+        chunks = split_into_chunks(packet, "t", "r", edge_delay=2)
+        assert chunk_priority_key(chunks[0]) < chunk_priority_key(chunks[1])
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(2.5) == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0) == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1)
+
+    def test_check_finite_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_finite(float("nan"))
+
+    def test_check_finite_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite(float("inf"))
+
+    def test_check_positive_int_accepts(self):
+        assert check_positive_int(3) == 3
+
+    def test_check_positive_int_rejects_float(self):
+        with pytest.raises(ValueError):
+            check_positive_int(2.5)
+
+    def test_check_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True)
+
+    def test_check_positive_int_accepts_integral_float(self):
+        assert check_positive_int(4.0) == 4
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+
+
+class TestTables:
+    def test_basic_table_contains_values(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        assert "a" in text and "2.5" in text and "4" in text
+
+    def test_title_rendered(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_csv_roundtrip_fields(self):
+        text = format_csv(["a", "b"], [[1, 2]])
+        assert text.splitlines() == ["a,b", "1,2"]
+
+    def test_csv_rejects_commas(self):
+        with pytest.raises(ValueError):
+            format_csv(["a"], [["x,y"]])
+
+    def test_column_alignment_consistent_width(self):
+        text = format_table(["name", "v"], [["long-name", 1], ["s", 22]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])

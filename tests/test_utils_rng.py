@@ -1,0 +1,65 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, as_rng
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert as_rng(1).random() != as_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        rng = as_rng(seq)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSeedSequenceFactory:
+    def test_same_key_same_stream(self):
+        a = SeedSequenceFactory(9).generator("x", 1).random()
+        b = SeedSequenceFactory(9).generator("x", 1).random()
+        assert a == b
+
+    def test_different_keys_differ(self):
+        fac = SeedSequenceFactory(9)
+        assert fac.generator("x", 1).random() != fac.generator("x", 2).random()
+
+    def test_different_roots_differ(self):
+        a = SeedSequenceFactory(1).generator("k").random()
+        b = SeedSequenceFactory(2).generator("k").random()
+        assert a != b
+
+    def test_integer_seed_deterministic(self):
+        assert SeedSequenceFactory(3).integer_seed("a") == SeedSequenceFactory(3).integer_seed("a")
+
+    def test_integer_seed_non_negative(self):
+        assert SeedSequenceFactory(3).integer_seed("a") >= 0
+
+    def test_root_seed_property(self):
+        assert SeedSequenceFactory(17).root_seed == 17
+
+    def test_none_root_allowed(self):
+        fac = SeedSequenceFactory(None)
+        assert isinstance(fac.generator("k"), np.random.Generator)

@@ -1,0 +1,173 @@
+"""Tests for repro.workloads.base, arrival and weights."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Packet
+from repro.exceptions import WorkloadError
+from repro.network import figure1_topology, projector_fabric
+from repro.workloads import (
+    Instance,
+    PacketSpec,
+    batch_arrivals,
+    bimodal_weights,
+    build_packets,
+    constant_weights,
+    deterministic_arrivals,
+    normalize_arrival,
+    onoff_arrivals,
+    pareto_weights,
+    poisson_arrivals,
+    routable_pairs,
+    uniform_weights,
+)
+from repro.utils.rng import as_rng
+
+
+class TestNormalizeArrival:
+    def test_integer_kept(self):
+        assert normalize_arrival(3) == 3
+
+    def test_fractional_ceiled(self):
+        assert normalize_arrival(2.1) == 3
+
+    def test_clamped_to_first_slot(self):
+        assert normalize_arrival(0.0) == 1
+        assert normalize_arrival(-5) == 1
+
+    def test_nan_rejected(self):
+        with pytest.raises(WorkloadError):
+            normalize_arrival(float("nan"))
+
+
+class TestPacketSpecAndBuild:
+    def test_spec_to_packet(self):
+        spec = PacketSpec("s", "d", weight=2.0, arrival=1.5)
+        packet = spec.to_packet(7)
+        assert packet.packet_id == 7 and packet.arrival == 2
+
+    def test_build_packets_ids_follow_arrival_order(self):
+        specs = [
+            PacketSpec("s", "d", 1.0, arrival=5),
+            PacketSpec("s", "d", 1.0, arrival=1),
+            PacketSpec("s", "d", 1.0, arrival=3),
+        ]
+        packets = build_packets(specs)
+        assert [p.packet_id for p in packets] == [0, 1, 2]
+        assert [p.arrival for p in packets] == [1, 3, 5]
+
+    def test_build_packets_stable_within_slot(self):
+        specs = [PacketSpec("s", f"d{i}", 1.0, arrival=1) for i in range(4)]
+        packets = build_packets(specs)
+        assert [p.destination for p in packets] == ["d0", "d1", "d2", "d3"]
+
+
+class TestInstance:
+    def test_properties(self, fig1_instance):
+        assert fig1_instance.num_packets == 5
+        assert fig1_instance.total_weight == pytest.approx(5.0)
+        assert fig1_instance.max_arrival == 2
+
+    def test_duplicate_ids_rejected(self, fig1_topology):
+        packets = [Packet(0, "s1", "d1", 1.0, 1), Packet(0, "s1", "d2", 1.0, 1)]
+        with pytest.raises(WorkloadError):
+            Instance(name="dup", topology=fig1_topology, packets=packets)
+
+    def test_validate_detects_unroutable(self, fig1_topology):
+        packets = [Packet(0, "s1", "d3", 1.0, 1)]
+        instance = Instance(name="bad", topology=fig1_topology, packets=packets)
+        with pytest.raises(WorkloadError):
+            instance.validate()
+
+    def test_horizon_estimate_positive_and_scales(self, fig1_instance):
+        h1 = fig1_instance.horizon_estimate(speed=1.0)
+        h_half = fig1_instance.horizon_estimate(speed=0.5)
+        assert h1 > fig1_instance.max_arrival
+        assert h_half >= h1
+
+    def test_subset(self, fig1_instance):
+        sub = fig1_instance.subset(2)
+        assert sub.num_packets == 2
+        assert [p.packet_id for p in sub.packets] == [0, 1]
+
+    def test_routable_pairs_figure1(self, fig1_topology):
+        pairs = set(routable_pairs(fig1_topology))
+        assert ("s1", "d1") in pairs and ("s2", "d3") in pairs
+        assert ("s1", "d3") not in pairs
+
+    def test_routable_pairs_projector_excludes_self(self):
+        topo = projector_fabric(num_racks=3)
+        pairs = routable_pairs(topo)
+        assert all(s.split(":")[0] != d.split(":")[0] for (s, d) in pairs)
+        assert len(pairs) == 6
+
+
+class TestArrivalProcesses:
+    def test_poisson_length_and_monotone(self):
+        arr = poisson_arrivals(50, rate=2.0, seed=1)
+        assert len(arr) == 50
+        assert all(b >= a for a, b in zip(arr, arr[1:]))
+        assert all(a >= 1 for a in arr)
+
+    def test_poisson_rate_controls_span(self):
+        fast = poisson_arrivals(200, rate=10.0, seed=2)
+        slow = poisson_arrivals(200, rate=0.5, seed=2)
+        assert max(slow) > max(fast)
+
+    def test_deterministic_spacing(self):
+        assert deterministic_arrivals(4, interval=2.0, start=1) == [1, 3, 5, 7]
+
+    def test_deterministic_invalid_start(self):
+        with pytest.raises(WorkloadError):
+            deterministic_arrivals(3, interval=1.0, start=0)
+
+    def test_batch_arrivals(self):
+        arr = batch_arrivals(num_batches=3, batch_size=2, gap=5, start=1)
+        assert arr == [1, 1, 6, 6, 11, 11]
+
+    def test_onoff_has_gaps(self):
+        arr = onoff_arrivals(100, on_rate=5.0, on_duration=3, off_duration=20, seed=4)
+        assert len(arr) == 100
+        gaps = [b - a for a, b in zip(arr, arr[1:])]
+        assert max(gaps) >= 15  # silence between bursts is visible
+
+    def test_poisson_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(5, rate=0.0)
+
+
+class TestWeightSamplers:
+    def test_constant(self):
+        sampler = constant_weights(3.5)
+        assert sampler(as_rng(0)) == 3.5
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            constant_weights(0.0)
+
+    def test_uniform_range(self):
+        sampler = uniform_weights(2.0, 4.0)
+        rng = as_rng(1)
+        values = [sampler(rng) for _ in range(100)]
+        assert all(2.0 <= v <= 4.0 for v in values)
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(WorkloadError):
+            uniform_weights(5.0, 1.0)
+
+    def test_pareto_capped_and_positive(self):
+        sampler = pareto_weights(shape=1.1, scale=1.0, cap=50.0)
+        rng = as_rng(2)
+        values = [sampler(rng) for _ in range(500)]
+        assert all(0 < v <= 50.0 for v in values)
+
+    def test_bimodal_values(self):
+        sampler = bimodal_weights(heavy_weight=10.0, light_weight=1.0, heavy_fraction=0.5)
+        rng = as_rng(3)
+        values = {sampler(rng) for _ in range(200)}
+        assert values == {1.0, 10.0}
+
+    def test_bimodal_invalid_fraction(self):
+        with pytest.raises(WorkloadError):
+            bimodal_weights(heavy_fraction=1.5)

@@ -1,0 +1,163 @@
+"""Tests for the synthetic / skewed / bursty workload generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.network import projector_fabric, single_tier_crossbar
+from repro.workloads import (
+    all_to_all_workload,
+    bursty_workload,
+    elephant_mice_workload,
+    hotspot_workload,
+    incast_workload,
+    permutation_workload,
+    routable_pairs,
+    uniform_random_workload,
+    uniform_weights,
+    zipf_pair_probabilities,
+    zipf_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return projector_fabric(num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=0)
+
+
+def assert_valid_packets(packets, topology, expected_count=None):
+    if expected_count is not None:
+        assert len(packets) == expected_count
+    ids = [p.packet_id for p in packets]
+    assert len(set(ids)) == len(ids)
+    for p in packets:
+        assert p.weight > 0
+        assert p.arrival >= 1
+        assert topology.can_route(p.source, p.destination)
+    arrivals = [p.arrival for p in sorted(packets, key=lambda q: q.packet_id)]
+    assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+
+class TestUniformRandom:
+    def test_valid_and_deterministic(self, fabric):
+        a = uniform_random_workload(fabric, 50, seed=1)
+        b = uniform_random_workload(fabric, 50, seed=1)
+        assert_valid_packets(a, fabric, 50)
+        assert [(p.source, p.destination, p.weight, p.arrival) for p in a] == [
+            (p.source, p.destination, p.weight, p.arrival) for p in b
+        ]
+
+    def test_different_seed_differs(self, fabric):
+        a = uniform_random_workload(fabric, 50, seed=1)
+        b = uniform_random_workload(fabric, 50, seed=2)
+        assert [(p.source, p.destination) for p in a] != [(p.source, p.destination) for p in b]
+
+    def test_weight_sampler_used(self, fabric):
+        packets = uniform_random_workload(fabric, 30, weight_sampler=uniform_weights(5, 6), seed=3)
+        assert all(5 <= p.weight <= 6 for p in packets)
+
+    def test_explicit_arrivals(self, fabric):
+        packets = uniform_random_workload(fabric, 3, arrivals=[4, 4, 9], seed=0)
+        assert sorted(p.arrival for p in packets) == [4, 4, 9]
+
+    def test_arrival_length_mismatch(self, fabric):
+        with pytest.raises(WorkloadError):
+            uniform_random_workload(fabric, 3, arrivals=[1, 2], seed=0)
+
+    def test_pair_restriction(self, fabric):
+        pair = routable_pairs(fabric)[0]
+        packets = uniform_random_workload(fabric, 10, pairs=[pair], seed=0)
+        assert all((p.source, p.destination) == pair for p in packets)
+
+    def test_invalid_pair_rejected(self, fabric):
+        with pytest.raises(WorkloadError):
+            uniform_random_workload(fabric, 5, pairs=[("rack0:src", "rack0:dst")], seed=0)
+
+
+class TestPermutationAndAllToAll:
+    def test_permutation_uses_one_destination_per_source(self, fabric):
+        packets = permutation_workload(fabric, 80, seed=5)
+        assert_valid_packets(packets, fabric, 80)
+        per_source = {}
+        for p in packets:
+            per_source.setdefault(p.source, set()).add(p.destination)
+        assert all(len(dests) == 1 for dests in per_source.values())
+
+    def test_all_to_all_covers_every_pair(self, fabric):
+        packets = all_to_all_workload(fabric, packets_per_pair=2)
+        pairs = Counter((p.source, p.destination) for p in packets)
+        assert set(pairs) == set(routable_pairs(fabric))
+        assert all(count == 2 for count in pairs.values())
+
+    def test_all_to_all_single_slot(self, fabric):
+        packets = all_to_all_workload(fabric, packets_per_pair=1, arrival_slot=3)
+        assert all(p.arrival == 3 for p in packets)
+
+    def test_all_to_all_invalid_slot(self, fabric):
+        with pytest.raises(WorkloadError):
+            all_to_all_workload(fabric, arrival_slot=0)
+
+
+class TestSkewedWorkloads:
+    def test_zipf_probabilities_normalised_and_decreasing(self):
+        probs = zipf_pair_probabilities(10, 1.2)
+        assert probs.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_zipf_skews_traffic(self, fabric):
+        packets = zipf_workload(fabric, 400, exponent=2.0, seed=7)
+        assert_valid_packets(packets, fabric, 400)
+        counts = Counter((p.source, p.destination) for p in packets)
+        top = counts.most_common(1)[0][1]
+        assert top > 400 / len(routable_pairs(fabric)) * 2  # clearly skewed
+
+    def test_higher_exponent_more_skew(self, fabric):
+        mild = Counter(
+            (p.source, p.destination) for p in zipf_workload(fabric, 400, exponent=0.5, seed=9)
+        )
+        strong = Counter(
+            (p.source, p.destination) for p in zipf_workload(fabric, 400, exponent=2.5, seed=9)
+        )
+        assert strong.most_common(1)[0][1] > mild.most_common(1)[0][1]
+
+    def test_elephant_mice_weights(self, fabric):
+        packets = elephant_mice_workload(
+            fabric, 300, heavy_weight=30.0, light_weight=1.0, seed=11
+        )
+        assert_valid_packets(packets, fabric, 300)
+        weights = {p.weight for p in packets}
+        assert weights <= {1.0, 30.0}
+        assert 30.0 in weights
+
+    def test_elephant_mice_invalid_fraction(self, fabric):
+        with pytest.raises(WorkloadError):
+            elephant_mice_workload(fabric, 10, elephant_pair_fraction=0.0)
+
+
+class TestBurstyAndIncast:
+    def test_bursty_valid(self, fabric):
+        packets = bursty_workload(fabric, 120, seed=13)
+        assert_valid_packets(packets, fabric, 120)
+
+    def test_incast_single_destination(self, fabric):
+        packets = incast_workload(fabric, num_senders=3, packets_per_sender=4, seed=15)
+        assert len(packets) == 12
+        destinations = {p.destination for p in packets}
+        assert len(destinations) == 1
+        assert len({p.source for p in packets}) == 3
+
+    def test_incast_explicit_destination(self, fabric):
+        packets = incast_workload(fabric, num_senders=2, destination="rack1:dst", seed=15)
+        assert all(p.destination == "rack1:dst" for p in packets)
+
+    def test_incast_unknown_destination(self, fabric):
+        with pytest.raises(WorkloadError):
+            incast_workload(fabric, num_senders=2, destination="nowhere", seed=15)
+
+    def test_incast_caps_senders(self):
+        topo = single_tier_crossbar(3)
+        packets = incast_workload(topo, num_senders=100, packets_per_sender=1, seed=1)
+        assert len({p.source for p in packets}) <= 3

@@ -1,0 +1,95 @@
+"""Tests for repro.workloads.trace_io and paper_figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Packet
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    figure1_instance,
+    figure1_packets,
+    figure1_reported_costs,
+    figure2_instances,
+    figure2_packets_pi,
+    figure2_packets_pi_prime,
+    figure2_reported_impacts,
+    read_packet_trace,
+    uniform_random_workload,
+    write_packet_trace,
+)
+from repro.network import projector_fabric
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        topo = projector_fabric(num_racks=3, seed=1)
+        packets = uniform_random_workload(topo, 25, seed=2)
+        path = write_packet_trace(packets, tmp_path / "trace.csv")
+        loaded = read_packet_trace(path)
+        assert loaded == packets
+
+    def test_roundtrip_preserves_float_weights(self, tmp_path):
+        packets = [Packet(0, "a", "b", weight=0.12345678901234, arrival=1)]
+        loaded = read_packet_trace(write_packet_trace(packets, tmp_path / "t.csv"))
+        assert loaded[0].weight == packets[0].weight
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(WorkloadError):
+            read_packet_trace(path)
+
+    def test_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("packet_id,source,destination,weight,arrival\n0,a,b,notanumber,1\n")
+        with pytest.raises(WorkloadError):
+            read_packet_trace(path)
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "packet_id,source,destination,weight,arrival\n0,a,b,1.0,1\n0,a,b,1.0,2\n"
+        )
+        with pytest.raises(WorkloadError):
+            read_packet_trace(path)
+
+
+class TestPaperFigures:
+    def test_figure1_packets_table(self):
+        packets = figure1_packets()
+        assert len(packets) == 5
+        assert [(p.source, p.destination, p.arrival) for p in packets] == [
+            ("s1", "d1", 1),
+            ("s1", "d2", 1),
+            ("s2", "d2", 1),
+            ("s2", "d2", 2),
+            ("s2", "d3", 2),
+        ]
+        assert all(p.weight == 1.0 for p in packets)
+
+    def test_figure1_instance_routable(self):
+        instance = figure1_instance()
+        instance.validate()
+        assert instance.metadata["paper_optimal_cost"] == 7.0
+
+    def test_figure1_reported_costs(self):
+        costs = figure1_reported_costs()
+        assert costs["feasible_solution"] == 9.0
+        assert costs["optimal_solution"] == 7.0
+
+    def test_figure2_packet_sets(self):
+        pi = figure2_packets_pi()
+        pi_prime = figure2_packets_pi_prime()
+        assert [p.weight for p in pi] == [1.0, 2.0, 3.0]
+        assert [p.weight for p in pi_prime] == [1.0, 2.0, 3.0, 4.0]
+        assert pi_prime[:3] == pi
+
+    def test_figure2_instances_validate(self):
+        for instance in figure2_instances().values():
+            instance.validate()
+
+    def test_figure2_reported_impacts_shape(self):
+        impacts = figure2_reported_impacts()
+        assert impacts["pi"] == {0: 1.0, 1: 2.0, 2: 5.0}
+        assert impacts["pi_prime"] == {0: 1.0, 1: 3.0, 2: 3.0, 3: 7.0}
