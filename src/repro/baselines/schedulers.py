@@ -24,7 +24,7 @@ from repro.core.packet import Chunk
 from repro.core.queues import PendingChunkPool
 from repro.core.scheduler import OrderedGreedyScheduler
 from repro.network.topology import TwoTierTopology
-from repro.utils.ordering import chunk_priority_key
+from repro.utils.ordering import chunk_fifo_key, chunk_priority_key
 from repro.utils.rng import RngLike, as_rng
 
 __all__ = [
@@ -46,9 +46,7 @@ class FIFOScheduler(OrderedGreedyScheduler):
     name = "fifo"
 
     def __init__(self) -> None:
-        super().__init__(
-            key=lambda c: (c.packet.arrival, c.packet.packet_id, c.index), name=self.name
-        )
+        super().__init__(key=chunk_fifo_key, name=self.name)
 
 
 class RandomOrderScheduler(Scheduler):
@@ -169,7 +167,7 @@ class ISLIPScheduler(Scheduler):
 
     @staticmethod
     def _oldest(chunks: List[Chunk]) -> Chunk:
-        return min(chunks, key=lambda c: (c.packet.arrival, c.packet.packet_id, c.index))
+        return min(chunks, key=chunk_fifo_key)
 
     def select_matching(
         self, pool: PendingChunkPool, topology: TwoTierTopology, now: int

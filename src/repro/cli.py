@@ -18,25 +18,39 @@ without writing Python:
     Run a single policy on a generated workload and print metrics (optionally
     the slot-by-slot trace), or replay a CSV packet trace with ``--input``.
 
+``python -m repro.cli sweep --experiment speedup --jobs 4 --output rows.json``
+    Run one of the paper's parameter sweeps (E5, E6, E8, E9, E10) through the
+    parallel experiment runner, fanning grid points out over ``--jobs`` worker
+    processes, and optionally persist the rows as JSON.
+
 Every subcommand accepts ``--seed`` and prints deterministic output for a
-fixed seed.
+fixed seed; sweep output is identical for any ``--jobs`` value.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.analysis import compute_charges, evaluate_competitive_ratio
-from repro.baselines import ablation_policies, all_policies, brute_force_optimal
+from repro.baselines import ablation_policies, all_policies, brute_force_optimal, standard_baselines
 from repro.core import OpportunisticLinkScheduler
 from repro.core.interfaces import Policy
 from repro.experiments import (
     compare_policies_on_instance,
+    competitive_ratio_sweep,
+    delay_heterogeneity_sweep,
     format_comparison_table,
+    hybrid_fixed_link_sweep,
+    rows_to_table,
     small_lp_instances,
+    speedup_sweep,
     standard_projector_instances,
+    two_tier_sweep,
+    write_json,
 )
 from repro.network import projector_fabric
 from repro.simulation import completion_time_statistics, latency_statistics, simulate
@@ -53,6 +67,7 @@ from repro.workloads import (
 __all__ = ["main", "build_parser"]
 
 _WORKLOADS = ("uniform", "zipf", "elephant-mice", "hotspot", "bursty", "incast")
+_SWEEPS = ("competitive", "speedup", "delays", "hybrid", "tiers")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +112,33 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace", action="store_true", help="print the slot-by-slot trace")
     sim.add_argument("--input", default=None, help="replay a CSV packet trace instead of generating one")
     sim.set_defaults(func=cmd_simulate)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter sweep through the parallel experiment runner"
+    )
+    sweep.add_argument(
+        "--experiment",
+        choices=_SWEEPS + ("all",),
+        default="all",
+        help="which sweep to run (E5 competitive, E6 speedup, E8 delays, E9 hybrid, E10 tiers)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the grid (1 = serial; rows are identical either way)",
+    )
+    sweep.add_argument("--racks", type=int, default=4, help="fabric size for the E9/E10 sweeps")
+    sweep.add_argument(
+        "--packets", type=int, default=60, help="packets per instance (E8/E9/E10 sweeps)"
+    )
+    sweep.add_argument(
+        "--lp-packets", type=int, default=8,
+        help="packets per LP-sized instance (E5/E6 sweeps; the exact LP limits size)",
+    )
+    sweep.add_argument("--seed", type=int, default=2021)
+    sweep.add_argument(
+        "--output", default=None, help="also write the rows to this path as JSON"
+    )
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 
@@ -233,6 +275,66 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace and result.trace is not None:
         print()
         print(result.trace.format(max_slots=10))
+    return 0
+
+
+def _run_one_sweep(name: str, args: argparse.Namespace) -> list:
+    """Run one named sweep with the CLI's sizing knobs and return its rows."""
+    if name == "competitive":
+        instances = small_lp_instances(
+            num_instances=2, num_packets=args.lp_packets, seed=args.seed
+        )
+        return competitive_ratio_sweep(
+            instances, epsilons=(0.5, 1.0, 2.0), use_lp=False, jobs=args.jobs
+        )
+    if name == "speedup":
+        instances = small_lp_instances(
+            num_instances=1, num_packets=args.lp_packets, seed=args.seed
+        )
+        instance = next(iter(instances.values()))
+        return speedup_sweep(instance, speeds=(1.0, 1.5, 2.0, 3.0), jobs=args.jobs)
+    if name == "delays":
+        policies: Dict[str, Policy] = {
+            "alg": OpportunisticLinkScheduler(),
+            **standard_baselines(seed=args.seed),
+        }
+        return delay_heterogeneity_sweep(
+            policies, num_packets=args.packets, seed=args.seed, jobs=args.jobs
+        )
+    if name == "hybrid":
+        return hybrid_fixed_link_sweep(
+            num_racks=args.racks, num_packets=args.packets, seed=args.seed, jobs=args.jobs
+        )
+    if name == "tiers":
+        return two_tier_sweep(
+            num_racks=args.racks, num_packets=args.packets, seed=args.seed, jobs=args.jobs
+        )
+    raise ValueError(f"unknown sweep {name!r}")  # pragma: no cover - argparse guards
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one (or every) parameter sweep through the parallel runner."""
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.output is not None and not Path(args.output).parent.is_dir():
+        # Checked up front so a long sweep is not thrown away on a typo.
+        print(
+            f"error: --output directory {Path(args.output).parent} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    names = list(_SWEEPS) if args.experiment == "all" else [args.experiment]
+    tagged_rows = []
+    for name in names:
+        rows = _run_one_sweep(name, args)
+        print(rows_to_table(rows, title=f"sweep: {name} (jobs={args.jobs})"))
+        print()
+        for row in rows:
+            tagged_rows.append({"experiment": name, **dataclasses.asdict(row)})
+    if args.output is not None:
+        path = write_json(tagged_rows, args.output)
+        print(f"wrote {len(tagged_rows)} rows to {path}")
     return 0
 
 

@@ -8,10 +8,19 @@ The :class:`PendingChunkPool` indexes all dispatched-but-undelivered chunks
 
 and offers priority-ordered iteration using the single chunk order defined in
 :mod:`repro.utils.ordering` (decreasing weight, ties by earlier arrival).
+
+Every index is a list kept sorted by :func:`~repro.utils.ordering.chunk_priority_key`
+via binary-search insertion.  The key is immutable for a chunk's lifetime
+(weight, arrival, packet id, chunk index — the engine only mutates
+``remaining_work``), so queries like :meth:`chunks_on_edge`,
+:meth:`eligible_chunks` and :meth:`adjacent_chunks` return already-ordered
+data instead of re-sorting the pool on every call — the per-slot hot path of
+the simulation engine.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.core.packet import Chunk
@@ -21,14 +30,22 @@ from repro.utils.ordering import chunk_priority_key
 __all__ = ["PendingChunkPool"]
 
 
+def _sorted_remove(chunks: List[Chunk], chunk: Chunk) -> None:
+    """Remove ``chunk`` from a priority-sorted list (O(log n) search, O(n) tail shift)."""
+    # The priority key is a total order (it ends in packet id / chunk
+    # index), so the chunk sits exactly at its key's bisection point.
+    del chunks[bisect_left(chunks, chunk_priority_key(chunk), key=chunk_priority_key)]
+
+
 class PendingChunkPool:
     """Container of pending (dispatched, not fully transmitted) chunks."""
 
     def __init__(self) -> None:
         self._by_edge: Dict[Tuple[str, str], List[Chunk]] = {}
-        self._by_transmitter: Dict[str, Set[Chunk]] = {}
-        self._by_receiver: Dict[str, Set[Chunk]] = {}
+        self._by_transmitter: Dict[str, List[Chunk]] = {}
+        self._by_receiver: Dict[str, List[Chunk]] = {}
         self._all: Set[Chunk] = set()
+        self._sorted: List[Chunk] = []
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -40,9 +57,16 @@ class PendingChunkPool:
         if not chunk.pending:
             raise SimulationError(f"cannot add non-pending chunk {chunk!r}")
         self._all.add(chunk)
-        self._by_edge.setdefault(chunk.edge, []).append(chunk)
-        self._by_transmitter.setdefault(chunk.transmitter, set()).add(chunk)
-        self._by_receiver.setdefault(chunk.receiver, set()).add(chunk)
+        insort(self._sorted, chunk, key=chunk_priority_key)
+        insort(self._by_edge.setdefault(chunk.edge, []), chunk, key=chunk_priority_key)
+        insort(
+            self._by_transmitter.setdefault(chunk.transmitter, []),
+            chunk,
+            key=chunk_priority_key,
+        )
+        insort(
+            self._by_receiver.setdefault(chunk.receiver, []), chunk, key=chunk_priority_key
+        )
 
     def add_all(self, chunks: Iterable[Chunk]) -> None:
         """Add every chunk in ``chunks`` to the pool."""
@@ -54,21 +78,19 @@ class PendingChunkPool:
         if chunk not in self._all:
             raise SimulationError(f"chunk {chunk!r} is not in the pool")
         self._all.discard(chunk)
-        edge_list = self._by_edge.get(chunk.edge, [])
-        if chunk in edge_list:
-            edge_list.remove(chunk)
-            if not edge_list:
-                self._by_edge.pop(chunk.edge, None)
-        tx_set = self._by_transmitter.get(chunk.transmitter)
-        if tx_set is not None:
-            tx_set.discard(chunk)
-            if not tx_set:
-                self._by_transmitter.pop(chunk.transmitter, None)
-        rx_set = self._by_receiver.get(chunk.receiver)
-        if rx_set is not None:
-            rx_set.discard(chunk)
-            if not rx_set:
-                self._by_receiver.pop(chunk.receiver, None)
+        _sorted_remove(self._sorted, chunk)
+        edge_list = self._by_edge[chunk.edge]
+        _sorted_remove(edge_list, chunk)
+        if not edge_list:
+            del self._by_edge[chunk.edge]
+        tx_list = self._by_transmitter[chunk.transmitter]
+        _sorted_remove(tx_list, chunk)
+        if not tx_list:
+            del self._by_transmitter[chunk.transmitter]
+        rx_list = self._by_receiver[chunk.receiver]
+        _sorted_remove(rx_list, chunk)
+        if not rx_list:
+            del self._by_receiver[chunk.receiver]
 
     def clear(self) -> None:
         """Remove every chunk from the pool."""
@@ -76,6 +98,7 @@ class PendingChunkPool:
         self._by_transmitter.clear()
         self._by_receiver.clear()
         self._all.clear()
+        self._sorted.clear()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -95,17 +118,15 @@ class PendingChunkPool:
 
     def chunks_on_edge(self, transmitter: str, receiver: str) -> List[Chunk]:
         """Pending chunks assigned to the given edge, in priority order."""
-        chunks = list(self._by_edge.get((transmitter, receiver), ()))
-        chunks.sort(key=chunk_priority_key)
-        return chunks
+        return list(self._by_edge.get((transmitter, receiver), ()))
 
     def chunks_at_transmitter(self, transmitter: str) -> List[Chunk]:
         """Pending chunks assigned to any edge incident to ``transmitter``."""
-        return sorted(self._by_transmitter.get(transmitter, ()), key=chunk_priority_key)
+        return list(self._by_transmitter.get(transmitter, ()))
 
     def chunks_at_receiver(self, receiver: str) -> List[Chunk]:
         """Pending chunks assigned to any edge incident to ``receiver``."""
-        return sorted(self._by_receiver.get(receiver, ()), key=chunk_priority_key)
+        return list(self._by_receiver.get(receiver, ()))
 
     def adjacent_chunks(self, transmitter: str, receiver: str) -> List[Chunk]:
         """Pending chunks sharing the transmitter *or* the receiver of an edge.
@@ -114,16 +135,37 @@ class PendingChunkPool:
         is exactly what the dispatcher needs because it runs before the new
         packet's own chunks are added to the pool).
         """
-        seen = self._by_transmitter.get(transmitter, set()) | self._by_receiver.get(
-            receiver, set()
-        )
-        return sorted(seen, key=chunk_priority_key)
+        # Merge the two sorted incidence lists.  The priority key is a total
+        # order (it ends in packet id / chunk index), so equal keys can only
+        # mean the *same* chunk — one pending on edge ``(transmitter,
+        # receiver)`` itself, present in both lists — and is emitted once.
+        tx = self._by_transmitter.get(transmitter, [])
+        rx = self._by_receiver.get(receiver, [])
+        if not tx:
+            return list(rx)
+        if not rx:
+            return list(tx)
+        merged: List[Chunk] = []
+        i = j = 0
+        while i < len(tx) and j < len(rx):
+            key_t, key_r = chunk_priority_key(tx[i]), chunk_priority_key(rx[j])
+            if key_t < key_r:
+                merged.append(tx[i])
+                i += 1
+            elif key_r < key_t:
+                merged.append(rx[j])
+                j += 1
+            else:
+                merged.append(tx[i])
+                i += 1
+                j += 1
+        merged.extend(tx[i:])
+        merged.extend(rx[j:])
+        return merged
 
     def eligible_chunks(self, now: int) -> List[Chunk]:
         """All pending chunks whose ``eligible_time <= now``, in priority order."""
-        chunks = [c for c in self._all if c.eligible_time <= now]
-        chunks.sort(key=chunk_priority_key)
-        return chunks
+        return [c for c in self._sorted if c.eligible_time <= now]
 
     def busy_transmitters(self) -> Set[str]:
         """Transmitters with at least one pending chunk."""

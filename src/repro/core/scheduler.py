@@ -50,8 +50,11 @@ class OrderedGreedyScheduler(Scheduler):
         selected: List[Chunk] = []
         used_transmitters: set[str] = set()
         used_receivers: set[str] = set()
-        eligible = [c for c in pool.eligible_chunks(now)]
-        eligible.sort(key=self._key)
+        eligible = pool.eligible_chunks(now)
+        if self._key is not chunk_priority_key:
+            # The pool already yields chunks in chunk_priority_key order; only
+            # other orders (e.g. the FIFO baseline) need a re-sort.
+            eligible.sort(key=self._key)
         for chunk in eligible:
             if chunk.transmitter in used_transmitters or chunk.receiver in used_receivers:
                 continue

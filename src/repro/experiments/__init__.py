@@ -14,6 +14,16 @@ from repro.experiments.generators import (
     standard_projector_instances,
 )
 from repro.experiments.report import rows_to_csv, rows_to_table, write_csv
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ExperimentTask,
+    RunnerConfig,
+    read_json,
+    rows_to_json,
+    run_experiment,
+    write_json,
+)
 from repro.experiments.sweeps import (
     CompetitiveRatioRow,
     DelaySweepRow,
@@ -40,6 +50,14 @@ __all__ = [
     "rows_to_table",
     "rows_to_csv",
     "write_csv",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ExperimentTask",
+    "RunnerConfig",
+    "run_experiment",
+    "rows_to_json",
+    "write_json",
+    "read_json",
     "competitive_ratio_sweep",
     "speedup_sweep",
     "delay_heterogeneity_sweep",

@@ -9,10 +9,11 @@ ratios, so "who wins and by how much" is immediately visible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.algorithm import OpportunisticLinkScheduler
 from repro.core.interfaces import Policy
+from repro.experiments.runner import ExperimentSpec, ExperimentTask, run_experiment
 from repro.simulation.engine import simulate
 from repro.simulation.results import SimulationResult
 from repro.utils.tables import format_table
@@ -56,43 +57,69 @@ def run_policy(
     )
 
 
+def _comparison_task(task: ExperimentTask) -> Dict[str, Any]:
+    """Run one (instance, policy) cell and return its raw measurements."""
+    result = run_policy(
+        task.params["instance"],
+        task.params["policy"],
+        speed=task.params["speed"],
+        max_slots=task.params["max_slots"],
+    )
+    return {
+        "instance": task.params["instance"].name,
+        "policy": task.params["policy_name"],
+        "total_weighted_latency": result.total_weighted_latency,
+        "num_slots": result.num_slots,
+        "fixed_link_fraction": result.fixed_link_fraction,
+    }
+
+
+def _normalise_rows(measurements: Sequence[Dict[str, Any]]) -> List[PolicyComparisonRow]:
+    """Turn one instance's raw measurements into rows normalised to ALG."""
+    by_policy = {m["policy"]: m for m in measurements}
+    if "alg" in by_policy:
+        baseline = by_policy["alg"]["total_weighted_latency"]
+    else:
+        baseline = min(m["total_weighted_latency"] for m in measurements)
+
+    rows: List[PolicyComparisonRow] = []
+    for measurement in measurements:
+        cost = measurement["total_weighted_latency"]
+        rows.append(
+            PolicyComparisonRow(
+                instance=measurement["instance"],
+                policy=measurement["policy"],
+                total_weighted_latency=cost,
+                ratio_to_alg=cost / baseline if baseline > 0 else float("nan"),
+                num_slots=measurement["num_slots"],
+                fixed_link_fraction=measurement["fixed_link_fraction"],
+            )
+        )
+    rows.sort(key=lambda row: row.total_weighted_latency)
+    return rows
+
+
 def compare_policies_on_instance(
     instance: Instance,
     policies: Optional[Mapping[str, Policy]] = None,
     speed: float = 1.0,
     max_slots: int = 1_000_000,
+    jobs: int = 1,
 ) -> List[PolicyComparisonRow]:
     """Run every policy on ``instance`` and normalise costs to the paper's ALG.
 
     ``policies`` defaults to ``{"alg": OpportunisticLinkScheduler()}``; when a
     policy named ``"alg"`` is present its cost is the normalisation baseline,
-    otherwise the smallest cost is used.
+    otherwise the smallest cost is used.  ``jobs > 1`` runs the policies in
+    parallel worker processes.
     """
-    policies = dict(policies) if policies else {"alg": OpportunisticLinkScheduler()}
-    results: Dict[str, SimulationResult] = {}
-    for name, policy in policies.items():
-        results[name] = run_policy(instance, policy, speed=speed, max_slots=max_slots)
-
-    if "alg" in results:
-        baseline = results["alg"].total_weighted_latency
-    else:
-        baseline = min(r.total_weighted_latency for r in results.values())
-
-    rows: List[PolicyComparisonRow] = []
-    for name, result in results.items():
-        cost = result.total_weighted_latency
-        rows.append(
-            PolicyComparisonRow(
-                instance=instance.name,
-                policy=name,
-                total_weighted_latency=cost,
-                ratio_to_alg=cost / baseline if baseline > 0 else float("nan"),
-                num_slots=result.num_slots,
-                fixed_link_fraction=result.fixed_link_fraction,
-            )
-        )
-    rows.sort(key=lambda row: row.total_weighted_latency)
-    return rows
+    return compare_policies_on_suite(
+        {instance.name: instance},
+        dict(policies) if policies else {"alg": OpportunisticLinkScheduler()},
+        speed=speed,
+        max_slots=max_slots,
+        jobs=jobs,
+    )
 
 
 def compare_policies_on_suite(
@@ -100,13 +127,28 @@ def compare_policies_on_suite(
     policies: Mapping[str, Policy],
     speed: float = 1.0,
     max_slots: int = 1_000_000,
+    jobs: int = 1,
 ) -> List[PolicyComparisonRow]:
-    """Run the full cross-product of instances × policies."""
+    """Run the full cross-product of instances × policies (optionally in parallel)."""
+    policies = dict(policies) if policies else {"alg": OpportunisticLinkScheduler()}
+    grid = [
+        {
+            "instance": instance,
+            "policy": policy,
+            "policy_name": name,
+            "speed": speed,
+            "max_slots": max_slots,
+        }
+        for instance in instances.values()
+        for name, policy in policies.items()
+    ]
+    spec = ExperimentSpec(name="policy-comparison", task_fn=_comparison_task, grid=grid)
+    measurements = run_experiment(spec, jobs=jobs)
+
     rows: List[PolicyComparisonRow] = []
-    for instance in instances.values():
-        rows.extend(
-            compare_policies_on_instance(instance, policies, speed=speed, max_slots=max_slots)
-        )
+    num_policies = len(policies)
+    for start in range(0, len(measurements), num_policies):
+        rows.extend(_normalise_rows(measurements[start : start + num_policies]))
     return rows
 
 

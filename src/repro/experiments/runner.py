@@ -1,0 +1,259 @@
+"""Parallel experiment runner.
+
+Every sweep and comparison in :mod:`repro.experiments` is a *grid* of
+self-contained measurements: each grid point can be evaluated knowing only its
+own parameters and a deterministic seed.  This module turns that observation
+into a small subsystem:
+
+* :class:`ExperimentSpec` names an experiment and pairs a picklable task
+  function with the grid of parameter dictionaries it should be evaluated on;
+* :class:`ExperimentTask` is one materialised grid point, carrying its own
+  deterministic seed derived from the spec's root seed through
+  :class:`~repro.utils.rng.SeedSequenceFactory`;
+* :class:`RunnerConfig` selects serial or :mod:`multiprocessing` execution
+  (``jobs``) without changing the produced rows;
+* :class:`ExperimentRunner` executes the grid and returns rows in grid order,
+  optionally persisting them as JSON for later analysis.
+
+The contract that makes parallelism safe is the same one the
+splitnn-emulator's partitioner uses for its per-partition fan-out: tasks share
+*no* mutable state, their inputs are deterministic, and the runner reassembles
+outputs in the deterministic grid order, so ``jobs=1`` and ``jobs=N`` produce
+identical row lists.
+
+Examples
+--------
+>>> from repro.experiments.runner import ExperimentSpec, ExperimentRunner, RunnerConfig
+>>> def square(task):
+...     return {"x": task.params["x"], "seed": task.seed, "y": task.params["x"] ** 2}
+>>> spec = ExperimentSpec(name="squares", task_fn=square,
+...                       grid=[{"x": x} for x in (1, 2, 3)], seed=7)
+>>> rows = ExperimentRunner(RunnerConfig(jobs=1)).run(spec)
+>>> [row["y"] for row in rows]
+[1, 4, 9]
+>>> rows == ExperimentRunner(RunnerConfig(jobs=1)).run(spec)   # reproducible
+True
+
+(``RunnerConfig(jobs=2)`` produces the same rows; the task function must then
+be a module-level — hence picklable — function rather than a local one like
+``square`` above.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ExperimentError
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "ExperimentTask",
+    "ExperimentSpec",
+    "RunnerConfig",
+    "ExperimentRunner",
+    "run_experiment",
+    "rows_to_json",
+    "write_json",
+    "read_json",
+]
+
+#: A task function maps one :class:`ExperimentTask` to a row (dataclass or
+#: mapping) or to a list of rows.  It must be picklable (a module-level
+#: function) for ``jobs > 1``.
+TaskFn = Callable[["ExperimentTask"], Any]
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One self-contained grid point of an :class:`ExperimentSpec`.
+
+    Attributes
+    ----------
+    spec_name:
+        Name of the owning spec (used in error messages and JSON output).
+    index:
+        Position of this task in the spec's grid; rows are always returned in
+        index order regardless of execution order.
+    params:
+        The grid point's parameters, passed verbatim to the task function.
+    seed:
+        Deterministic 63-bit seed derived from the spec's root seed and the
+        task index; independent across tasks, reproducible across runs and
+        processes.
+    """
+
+    spec_name: str
+    index: int
+    params: Dict[str, Any]
+    seed: int
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment expressed as a grid of self-contained tasks.
+
+    Attributes
+    ----------
+    name:
+        Experiment name (e.g. ``"speedup"``); also namespaces the per-task
+        seed derivation, so two specs with the same root seed but different
+        names get independent task seeds.
+    task_fn:
+        Module-level callable evaluating one :class:`ExperimentTask`.
+    grid:
+        One parameter dictionary per task, in output order.
+    seed:
+        Root seed for per-task seed derivation (``None`` still yields a
+        deterministic derivation keyed only on the name and index).
+    """
+
+    name: str
+    task_fn: TaskFn
+    grid: Sequence[Dict[str, Any]] = field(default_factory=tuple)
+    seed: Optional[int] = None
+
+    def tasks(self) -> List[ExperimentTask]:
+        """Materialise the grid into tasks with deterministic per-task seeds."""
+        seeds = SeedSequenceFactory(self.seed)
+        return [
+            ExperimentTask(
+                spec_name=self.name,
+                index=index,
+                params=dict(params),
+                seed=seeds.integer_seed("task", self.name, index),
+            )
+            for index, params in enumerate(self.grid)
+        ]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Execution configuration of an :class:`ExperimentRunner`.
+
+    Attributes
+    ----------
+    jobs:
+        Number of worker processes; ``1`` (the default) runs tasks serially in
+        the calling process, ``N > 1`` fans tasks out over a
+        :class:`multiprocessing.pool.Pool`.  The produced rows are identical
+        either way.
+    start_method:
+        Optional :mod:`multiprocessing` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` uses the platform default.
+    chunksize:
+        Number of tasks handed to a worker per dispatch; larger values
+        amortise IPC for big grids of cheap tasks.
+    """
+
+    jobs: int = 1
+    start_method: Optional[str] = None
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
+
+
+def _execute_task(task_fn: TaskFn, task: ExperimentTask) -> List[Any]:
+    """Evaluate one task and normalise its output to a list of rows."""
+    try:
+        output = task_fn(task)
+    except Exception as exc:  # re-raise with grid context, keep the original chained
+        raise ExperimentError(
+            f"task {task.index} of experiment {task.spec_name!r} failed "
+            f"(params={task.params!r}): {exc}"
+        ) from exc
+    if output is None:
+        return []
+    if isinstance(output, list):
+        return output
+    return [output]
+
+
+class ExperimentRunner:
+    """Executes an :class:`ExperimentSpec` serially or over a process pool."""
+
+    def __init__(self, config: Optional[RunnerConfig] = None) -> None:
+        self.config = config or RunnerConfig()
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        output_path: Optional[Union[str, Path]] = None,
+    ) -> List[Any]:
+        """Run every task of ``spec`` and return the rows in grid order.
+
+        When ``output_path`` is given the rows (plus the spec name, root seed
+        and grid size) are also persisted as JSON.
+        """
+        tasks = spec.tasks()
+        call = partial(_execute_task, spec.task_fn)
+        if self.config.jobs == 1 or len(tasks) <= 1:
+            per_task = [call(task) for task in tasks]
+        else:
+            context = multiprocessing.get_context(self.config.start_method)
+            processes = min(self.config.jobs, len(tasks))
+            with context.Pool(processes=processes) as pool:
+                per_task = pool.map(call, tasks, chunksize=self.config.chunksize)
+        rows = [row for task_rows in per_task for row in task_rows]
+        if output_path is not None:
+            write_json(rows, output_path, spec=spec)
+        return rows
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    jobs: int = 1,
+    output_path: Optional[Union[str, Path]] = None,
+) -> List[Any]:
+    """One-call convenience wrapper: run ``spec`` with ``jobs`` workers."""
+    return ExperimentRunner(RunnerConfig(jobs=jobs)).run(spec, output_path=output_path)
+
+
+# ---------------------------------------------------------------------- #
+# JSON persistence
+# ---------------------------------------------------------------------- #
+def _row_to_jsonable(row: object) -> Dict[str, Any]:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    if isinstance(row, dict):
+        return dict(row)
+    raise ExperimentError(f"cannot serialise row of type {type(row).__name__} to JSON")
+
+
+def rows_to_json(rows: Sequence[object], spec: Optional[ExperimentSpec] = None) -> str:
+    """Render rows (and optional spec metadata) as a JSON document."""
+    document: Dict[str, Any] = {}
+    if spec is not None:
+        document["experiment"] = spec.name
+        document["seed"] = spec.seed
+        document["grid_size"] = len(spec.grid)
+    document["rows"] = [_row_to_jsonable(row) for row in rows]
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def write_json(
+    rows: Sequence[object],
+    path: Union[str, Path],
+    spec: Optional[ExperimentSpec] = None,
+) -> Path:
+    """Write rows to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(rows_to_json(rows, spec=spec) + "\n")
+    return path
+
+
+def read_json(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load the rows previously written by :func:`write_json`."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or "rows" not in document:
+        raise ExperimentError(f"{path} does not look like runner JSON output")
+    return list(document["rows"])

@@ -89,6 +89,7 @@ class TwoTierTopology:
     >>> topo.add_transmitter("t1", "s1"); topo.add_receiver("r1", "d1")
     >>> topo.add_reconfigurable_edge("t1", "r1", delay=1)
     >>> topo.freeze()
+    TwoTierTopology(name='two-tier', sources=1, transmitters=1, receivers=1, destinations=1, edges=1, fixed_links=0)
     >>> topo.candidate_edges("s1", "d1")
     [('t1', 'r1')]
     """

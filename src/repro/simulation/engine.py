@@ -64,12 +64,22 @@ class EngineConfig:
     validate_matchings:
         Whether to check that the scheduler's output is a valid matching of
         eligible pending chunks each slot (cheap; enabled by default).
+    slot_skipping:
+        Whether to jump directly to the next arrival slot when no chunk is
+        pending instead of simulating every empty slot (the sparse-arrival
+        fast path; enabled by default).  Skipped slots still count toward
+        ``max_slots`` and still contribute zero-size entries to
+        ``matching_sizes`` (and empty slot traces when ``record_trace`` is
+        on), so results are identical to the slot-by-slot walk for any
+        scheduler that selects nothing — and mutates nothing — when the pool
+        is empty, which holds for every scheduler in this repository.
     """
 
     speed: float = 1.0
     max_slots: int = 1_000_000
     record_trace: bool = False
     validate_matchings: bool = True
+    slot_skipping: bool = True
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
@@ -105,6 +115,7 @@ class SimulationEngine:
             max_slots=base.max_slots if max_slots is None else max_slots,
             record_trace=base.record_trace if record_trace is None else record_trace,
             validate_matchings=base.validate_matchings,
+            slot_skipping=base.slot_skipping,
         )
 
     # ------------------------------------------------------------------ #
@@ -132,12 +143,14 @@ class SimulationEngine:
         arrivals_by_slot: Dict[int, List[Packet]] = {}
         for packet in packet_list:
             arrivals_by_slot.setdefault(packet.arrival, []).append(packet)
+        arrival_slots = sorted(arrivals_by_slot)
 
         pool = PendingChunkPool()
         undelivered_chunks: Dict[int, int] = {}
         remaining_arrivals = len(packet_list)
+        next_arrival = 0  # index of the next undispatched slot in arrival_slots
 
-        slot = min(arrivals_by_slot)
+        slot = arrival_slots[0]
         result.first_slot = slot
         slots_simulated = 0
 
@@ -151,9 +164,13 @@ class SimulationEngine:
             slot_trace = SlotTrace(slot=slot) if self.config.record_trace else None
 
             # 1. Release and dispatch this slot's arrivals, in input order.
-            for packet in arrivals_by_slot.get(slot, ()):
-                remaining_arrivals -= 1
-                self._dispatch_packet(packet, pool, slot, result, undelivered_chunks, slot_trace)
+            if next_arrival < len(arrival_slots) and arrival_slots[next_arrival] == slot:
+                next_arrival += 1
+                for packet in arrivals_by_slot[slot]:
+                    remaining_arrivals -= 1
+                    self._dispatch_packet(
+                        packet, pool, slot, result, undelivered_chunks, slot_trace
+                    )
 
             # 2. Ask the scheduler for this slot's matching and transmit it.
             matching = self.policy.scheduler.select_matching(pool, self.topology, slot)
@@ -170,6 +187,32 @@ class SimulationEngine:
                 result.trace.slots.append(slot_trace)
             result.last_slot = slot
             slot += 1
+
+            # 3. Fast path: with no pending chunks, no slot can transmit
+            #    anything until the next arrival — jump straight to it.
+            if (
+                self.config.slot_skipping
+                and remaining_arrivals > 0
+                and pool.is_empty()
+                and arrival_slots[next_arrival] > slot
+            ):
+                target = arrival_slots[next_arrival]
+                skipped = target - slot
+                slots_simulated += skipped
+                if slots_simulated > self.config.max_slots:
+                    raise SimulationError(
+                        f"simulation exceeded max_slots={self.config.max_slots} "
+                        f"({remaining_arrivals} arrivals pending, {len(pool)} chunks pending)"
+                    )
+                # Keep the per-slot aggregates (and, when tracing, the empty
+                # slot traces) identical to the slot-by-slot walk.
+                result.matching_sizes.extend([0] * skipped)
+                if self.config.record_trace:
+                    result.trace.slots.extend(
+                        SlotTrace(slot=empty) for empty in range(slot, target)
+                    )
+                result.last_slot = target - 1
+                slot = target
 
         return result
 

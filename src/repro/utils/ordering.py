@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type checking
 
 __all__ = [
     "chunk_priority_key",
+    "chunk_fifo_key",
     "packet_priority_key",
     "chunk_outranks",
 ]
@@ -49,6 +50,16 @@ def chunk_priority_key(chunk: "Chunk") -> Tuple[float, float, int, int]:
         chunk.packet.packet_id,
         chunk.index,
     )
+
+
+def chunk_fifo_key(chunk: "Chunk") -> Tuple[float, int, int]:
+    """Total-order key for chunks in arrival (FIFO) order.
+
+    Used by the weight-oblivious baselines; a module-level function (rather
+    than a lambda) so policies built on it stay picklable and can be shipped
+    to experiment-runner worker processes.
+    """
+    return (chunk.packet.arrival, chunk.packet.packet_id, chunk.index)
 
 
 def chunk_outranks(first: "Chunk", second: "Chunk") -> bool:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import read_json
 from repro.network import projector_fabric
 from repro.workloads import uniform_random_workload, write_packet_trace
 
@@ -89,3 +90,41 @@ class TestSimulateCommand:
             ["simulate", "--racks", "4", "--packets", "15", "--policy", "maxweight", "--seed", "5"]
         )
         assert code == 0
+
+
+class TestSweepCommand:
+    def test_single_sweep_runs(self, capsys):
+        code = main(
+            ["sweep", "--experiment", "tiers", "--racks", "4", "--packets", "30", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: tiers" in out and "lasers_per_rack" in out
+
+    def test_jobs_flag_does_not_change_rows(self, capsys):
+        argv = ["sweep", "--experiment", "speedup", "--lp-packets", "6", "--seed", "3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.replace("jobs=1", "") == parallel.replace("jobs=2", "")
+
+    def test_output_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "rows.json"
+        code = main(
+            [
+                "sweep", "--experiment", "hybrid", "--racks", "4", "--packets", "30",
+                "--seed", "3", "--jobs", "2", "--output", str(path),
+            ]
+        )
+        assert code == 0
+        rows = read_json(path)
+        assert rows and all(row["experiment"] == "hybrid" for row in rows)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_invalid_jobs(self):
+        assert main(["sweep", "--experiment", "tiers", "--jobs", "0"]) == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--experiment", "nope"])

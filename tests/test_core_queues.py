@@ -119,3 +119,35 @@ class TestQueries:
         assert pool.weight_at_transmitter("t1") == 0.0
         assert pool.chunks_on_edge("t1", "r1") == []
         assert pool.adjacent_chunks("t1", "r1") == []
+
+
+class TestSortedIndexes:
+    """The pool keeps every index in priority order via sorted insertion."""
+
+    def test_adjacent_chunks_in_priority_order_without_duplicates(self):
+        pool = PendingChunkPool()
+        shared = make_chunks(0, 3.0, edge=("t1", "r1"))[0]  # in both incidence lists
+        at_tx = make_chunks(1, 5.0, edge=("t1", "r2"))[0]
+        at_rx = make_chunks(2, 1.0, edge=("t2", "r1"))[0]
+        for chunk in (shared, at_tx, at_rx):
+            pool.add(chunk)
+        adjacent = pool.adjacent_chunks("t1", "r1")
+        assert adjacent == [at_tx, shared, at_rx]  # decreasing weight, shared once
+
+    def test_interleaved_add_remove_keeps_order(self):
+        pool = PendingChunkPool()
+        chunks = [make_chunks(pid, weight, edge=("t1", "r1"))[0]
+                  for pid, weight in ((0, 2.0), (1, 9.0), (2, 5.0), (3, 7.0))]
+        for chunk in chunks:
+            pool.add(chunk)
+        pool.remove(chunks[1])
+        pool.add(make_chunks(4, 8.0, edge=("t1", "r1"))[0])
+        weights = [c.weight for c in pool.chunks_on_edge("t1", "r1")]
+        assert weights == sorted(weights, reverse=True) == [8.0, 7.0, 5.0, 2.0]
+
+    def test_eligible_chunks_priority_order(self):
+        pool = PendingChunkPool()
+        for pid, weight in ((0, 1.0), (1, 4.0), (2, 2.0)):
+            pool.add(make_chunks(pid, weight, edge=(f"t{pid}", f"r{pid}"))[0])
+        weights = [c.weight for c in pool.eligible_chunks(now=10)]
+        assert weights == [4.0, 2.0, 1.0]
