@@ -1,0 +1,144 @@
+"""E12 — streaming scalability: million-packet runs in bounded memory.
+
+The scalability benchmark unlocked by the streaming data path: ALG and the
+FIFO baseline each consume a lazily generated ≥10⁶-packet workload through
+``retention="aggregate"`` with memory bounded by the in-flight state, not the
+packet count.  Three layers of assertions:
+
+* **correctness** — on a 10k-packet cross-check instance, the aggregate-mode
+  summary is bit-identical to the materialised in-memory run;
+* **boundedness** — the Python-heap peak (tracemalloc) of an aggregate run
+  stays within one fixed budget at two workload sizes 8× apart, i.e. peak
+  memory is independent of the packet count;
+* **scale** — the full ≥10⁶-packet runs complete, deliver everything, and
+  add less RSS than a fixed budget.
+
+``REPRO_E12_PACKETS`` overrides the full-scale packet count (the CI memory
+smoke job sets it to 50k to keep the job fast); the cross-check and
+boundedness assertions always run at their fixed sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import time
+import tracemalloc
+
+import pytest
+
+from repro.baselines.policies import make_fifo_policy
+from repro.core import OpportunisticLinkScheduler
+from repro.network import projector_fabric
+from repro.simulation import simulate
+from repro.workloads import iter_uniform_random_workload, uniform_weights
+
+#: Full-scale packet count (≥10⁶ by default; CI smoke mode shrinks it).
+E12_PACKETS = int(os.environ.get("REPRO_E12_PACKETS", str(1_000_000)))
+#: Cross-check size at which full and aggregate retention are both affordable.
+CROSS_CHECK_PACKETS = 10_000
+#: Fixed Python-heap budget for an aggregate run, independent of packet count.
+HEAP_BUDGET_BYTES = 64 * 1024 * 1024
+#: Fixed RSS-growth budget for the full-scale runs.
+RSS_GROWTH_BUDGET_BYTES = 256 * 1024 * 1024
+
+_POLICIES = {"alg": OpportunisticLinkScheduler, "fifo": make_fifo_policy}
+
+
+def _topology(seed: int = 51):
+    return projector_fabric(
+        num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=seed
+    )
+
+
+def _stream(topo, num_packets: int, seed: int = 52):
+    """A lazily generated near-critically-loaded uniform workload."""
+    return iter_uniform_random_workload(
+        topo,
+        num_packets,
+        weight_sampler=uniform_weights(1, 10),
+        arrival_rate=1.5,
+        seed=seed,
+    )
+
+
+def _rss_bytes() -> int:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+@pytest.mark.parametrize("policy_name", sorted(_POLICIES))
+def test_e12_cross_check_bit_identical(policy_name):
+    """Aggregate-mode summaries match the in-memory path bit-for-bit at 10k packets."""
+    topo = _topology()
+    factory = _POLICIES[policy_name]
+    full = simulate(topo, factory(), list(_stream(topo, CROSS_CHECK_PACKETS)))
+    agg = simulate(
+        topo, factory(), _stream(topo, CROSS_CHECK_PACKETS), retention="aggregate"
+    )
+    assert full.all_delivered and agg.all_delivered
+    assert agg.summary() == full.summary()
+    assert agg.total_weighted_latency == full.total_weighted_latency
+    assert agg.mean_flow_completion_time == full.mean_flow_completion_time
+
+
+def test_e12_peak_memory_independent_of_packet_count(report):
+    """tracemalloc peak stays under one fixed budget as the workload grows 8x."""
+    topo = _topology()
+    peaks = {}
+    for n in (25_000, 200_000):
+        tracemalloc.start()
+        result = simulate(
+            topo, OpportunisticLinkScheduler(), _stream(topo, n), retention="aggregate"
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert result.all_delivered
+        assert len(result) == n
+        peaks[n] = peak
+        assert peak < HEAP_BUDGET_BYTES, (
+            f"aggregate-mode heap peak {peak / 2**20:.1f} MiB at {n} packets "
+            f"exceeds the fixed {HEAP_BUDGET_BYTES / 2**20:.0f} MiB budget"
+        )
+    report(
+        "E12 memory boundedness",
+        "  ".join(f"{n // 1000}k pkts -> heap peak {p / 2**10:.0f} KiB" for n, p in peaks.items()),
+    )
+    # 8x the packets must not cost 8x the memory; allow slack for pool churn.
+    assert peaks[200_000] < 3 * peaks[25_000] + 8 * 2**20
+
+
+@pytest.mark.parametrize("policy_name", sorted(_POLICIES))
+def test_e12_million_packet_scale(report, policy_name):
+    """ALG and FIFO each push >=10^6 packets through the streaming pipeline."""
+    topo = _topology()
+    factory = _POLICIES[policy_name]
+    rss_before = _rss_bytes()
+    start = time.perf_counter()
+    result = simulate(
+        topo,
+        factory(),
+        _stream(topo, E12_PACKETS),
+        max_slots=10 * E12_PACKETS + 1_000,
+        retention="aggregate",
+    )
+    elapsed = time.perf_counter() - start
+    rss_growth = _rss_bytes() - rss_before
+    assert result.all_delivered
+    assert len(result) == E12_PACKETS
+    assert result.total_weighted_latency > 0
+    report(
+        f"E12 streaming scale [{policy_name}]",
+        f"packets={E12_PACKETS:,}  slots={result.num_slots:,}  "
+        f"cost={result.total_weighted_latency:.6g}  "
+        f"throughput={E12_PACKETS / elapsed:,.0f} pkts/s  "
+        f"rss growth={max(rss_growth, 0) / 2**20:.1f} MiB",
+    )
+    assert rss_growth < RSS_GROWTH_BUDGET_BYTES, (
+        f"aggregate-mode run of {E12_PACKETS:,} packets grew RSS by "
+        f"{rss_growth / 2**20:.1f} MiB (budget "
+        f"{RSS_GROWTH_BUDGET_BYTES / 2**20:.0f} MiB) — the streaming path is "
+        "retaining per-packet state"
+    )

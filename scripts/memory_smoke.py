@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Memory smoke check for the streaming data path (CI gate).
+
+Runs a 50k-packet simulation in ``retention="aggregate"`` mode with the
+workload generated lazily, then fails if the process's peak RSS (via
+``resource.getrusage``) exceeds a fixed budget.  The budget covers the
+interpreter plus numpy/scipy imports with generous headroom; an O(n)
+regression in the streaming path (e.g. a retained per-packet record) blows
+straight through it at this packet count.
+
+Environment overrides:
+
+* ``REPRO_SMOKE_PACKETS``   — packet count (default 50000)
+* ``REPRO_SMOKE_BUDGET_MB`` — peak-RSS budget in MiB (default 450)
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import time
+
+
+def main() -> int:
+    num_packets = int(os.environ.get("REPRO_SMOKE_PACKETS", "50000"))
+    budget_mb = float(os.environ.get("REPRO_SMOKE_BUDGET_MB", "450"))
+
+    from repro.core import OpportunisticLinkScheduler
+    from repro.network import projector_fabric
+    from repro.simulation import simulate
+    from repro.workloads import iter_uniform_random_workload, uniform_weights
+
+    topo = projector_fabric(
+        num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=51
+    )
+    stream = iter_uniform_random_workload(
+        topo,
+        num_packets,
+        weight_sampler=uniform_weights(1, 10),
+        arrival_rate=1.5,
+        seed=52,
+    )
+    start = time.perf_counter()
+    result = simulate(topo, OpportunisticLinkScheduler(), stream, retention="aggregate")
+    elapsed = time.perf_counter() - start
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mb = rss / 1024 if sys.platform != "darwin" else rss / (1024 * 1024)
+
+    ok = result.all_delivered and len(result) == num_packets
+    print(
+        f"memory smoke: {num_packets} packets in {elapsed:.1f}s, "
+        f"all delivered: {result.all_delivered}, "
+        f"total weighted latency: {result.total_weighted_latency:.6g}, "
+        f"peak RSS: {peak_mb:.1f} MiB (budget {budget_mb:.0f} MiB)"
+    )
+    if not ok:
+        print("memory smoke FAILED: simulation did not deliver every packet")
+        return 1
+    if peak_mb > budget_mb:
+        print(
+            f"memory smoke FAILED: peak RSS {peak_mb:.1f} MiB exceeds the "
+            f"{budget_mb:.0f} MiB budget — the streaming path is retaining "
+            "per-packet state"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,19 @@ without writing Python:
 
 ``python -m repro.cli simulate --racks 4 --packets 60 --policy alg --trace``
     Run a single policy on a generated workload and print metrics (optionally
-    the slot-by-slot trace), or replay a CSV packet trace with ``--input``.
+    the slot-by-slot trace), or replay a CSV/JSONL packet trace with
+    ``--input``.  ``--retention aggregate`` streams the workload through the
+    engine with O(in-flight) memory — the mode for very large packet counts —
+    and ``--trace-jsonl PATH`` streams the slot-by-slot trace to disk instead
+    of holding it in RAM.
 
 ``python -m repro.cli sweep --experiment speedup --jobs 4 --output rows.json``
     Run one of the paper's parameter sweeps (E5, E6, E8, E9, E10) through the
     parallel experiment runner, fanning grid points out over ``--jobs`` worker
-    processes, and optionally persist the rows as JSON.
+    processes, and optionally persist the rows as JSON (or, with a
+    ``.jsonl`` output path, as streamed JSON Lines).  ``--retention
+    aggregate`` bounds each simulation's memory; ``--chunksize`` sets how
+    many grid points are streamed to a worker per dispatch.
 
 Every subcommand accepts ``--seed`` and prints deterministic output for a
 fixed seed; sweep output is identical for any ``--jobs`` value.
@@ -49,8 +56,10 @@ from repro.experiments import (
     small_lp_instances,
     speedup_sweep,
     standard_projector_instances,
+    standard_projector_workload,
     two_tier_sweep,
     write_json,
+    write_jsonl,
 )
 from repro.network import projector_fabric
 from repro.simulation import completion_time_statistics, latency_statistics, simulate
@@ -61,7 +70,10 @@ from repro.workloads import (
     figure1_reported_costs,
     figure2_instances,
     figure2_reported_impacts,
+    iter_packet_trace,
+    iter_packet_trace_jsonl,
     read_packet_trace,
+    read_packet_trace_jsonl,
 )
 
 __all__ = ["main", "build_parser"]
@@ -110,7 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--speed", type=float, default=1.0)
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument("--trace", action="store_true", help="print the slot-by-slot trace")
-    sim.add_argument("--input", default=None, help="replay a CSV packet trace instead of generating one")
+    sim.add_argument(
+        "--input", default=None,
+        help="replay a packet trace (.csv or .jsonl) instead of generating one",
+    )
+    sim.add_argument(
+        "--retention", choices=("full", "aggregate"), default="full",
+        help="'aggregate' streams packets through the engine with O(in-flight) "
+        "memory (summary numbers are identical; per-packet stats unavailable)",
+    )
+    sim.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="stream the slot-by-slot trace to PATH as JSON Lines (O(1) memory)",
+    )
     sim.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser(
@@ -136,7 +160,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seed", type=int, default=2021)
     sweep.add_argument(
-        "--output", default=None, help="also write the rows to this path as JSON"
+        "--output", default=None,
+        help="also write the rows to this path (.json document or streamed .jsonl)",
+    )
+    sweep.add_argument(
+        "--retention", choices=("full", "aggregate"), default="full",
+        help="simulation retention mode for the E8/E9/E10 sweeps "
+        "('aggregate' bounds per-run memory; rows are identical)",
+    )
+    sweep.add_argument(
+        "--chunksize", type=int, default=1,
+        help="grid points streamed to a worker per dispatch (jobs > 1)",
     )
     sweep.set_defaults(func=cmd_sweep)
     return parser
@@ -241,40 +275,70 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    streaming = args.retention == "aggregate"
     if args.input is not None:
         topology = projector_fabric(
             num_racks=args.racks, lasers_per_rack=2, photodetectors_per_rack=2, seed=args.seed
         )
-        packets = read_packet_trace(args.input)
+        if str(args.input).endswith(".jsonl"):
+            packets = iter_packet_trace_jsonl(args.input) if streaming else read_packet_trace_jsonl(args.input)
+        else:
+            packets = iter_packet_trace(args.input) if streaming else read_packet_trace(args.input)
+    elif streaming:
+        # Build only the requested workload, lazily — the whole point of
+        # aggregate mode is not materialising a million-packet suite.
+        topology, packets = standard_projector_workload(
+            args.workload,
+            num_racks=args.racks,
+            lasers_per_rack=2,
+            num_packets=args.packets,
+            seed=args.seed,
+        )
     else:
         instance = _generated_instance(args.racks, args.packets, args.workload, args.seed)
         topology, packets = instance.topology, instance.packets
 
     result = simulate(
-        topology, policies[args.policy], packets, speed=args.speed, record_trace=args.trace
+        topology,
+        policies[args.policy],
+        packets,
+        speed=args.speed,
+        record_trace=args.trace,
+        retention=args.retention,
+        trace_path=args.trace_jsonl,
     )
-    weighted = latency_statistics(result)
-    completion = completion_time_statistics(result)
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["policy", result.policy_name],
-                ["packets", len(result)],
-                ["all delivered", result.all_delivered],
-                ["total weighted latency", result.total_weighted_latency],
-                ["mean weighted latency", weighted.mean],
-                ["p99 weighted latency", weighted.p99],
-                ["mean completion time", completion.mean],
-                ["slots simulated", result.num_slots],
-                ["fixed-link fraction", result.fixed_link_fraction],
-            ],
-            title="simulation summary",
-        )
-    )
+    rows = [
+        ["policy", result.policy_name],
+        ["packets", len(result)],
+        ["all delivered", result.all_delivered],
+        ["total weighted latency", result.total_weighted_latency],
+    ]
+    if streaming:
+        # Per-packet distributions are not retained in aggregate mode; report
+        # the online summary numbers instead.
+        summary = result.summary()
+        rows += [
+            ["mean weighted latency", summary["mean_weighted_latency"]],
+            ["mean completion time", result.mean_flow_completion_time],
+        ]
+    else:
+        weighted = latency_statistics(result)
+        completion = completion_time_statistics(result)
+        rows += [
+            ["mean weighted latency", weighted.mean],
+            ["p99 weighted latency", weighted.p99],
+            ["mean completion time", completion.mean],
+        ]
+    rows += [
+        ["slots simulated", result.num_slots],
+        ["fixed-link fraction", result.fixed_link_fraction],
+    ]
+    print(format_table(["metric", "value"], rows, title="simulation summary"))
     if args.trace and result.trace is not None:
         print()
         print(result.trace.format(max_slots=10))
+    if args.trace_jsonl is not None:
+        print(f"wrote slot trace to {args.trace_jsonl}")
     return 0
 
 
@@ -285,29 +349,35 @@ def _run_one_sweep(name: str, args: argparse.Namespace) -> list:
             num_instances=2, num_packets=args.lp_packets, seed=args.seed
         )
         return competitive_ratio_sweep(
-            instances, epsilons=(0.5, 1.0, 2.0), use_lp=False, jobs=args.jobs
+            instances, epsilons=(0.5, 1.0, 2.0), use_lp=False, jobs=args.jobs,
+            chunksize=args.chunksize,
         )
     if name == "speedup":
         instances = small_lp_instances(
             num_instances=1, num_packets=args.lp_packets, seed=args.seed
         )
         instance = next(iter(instances.values()))
-        return speedup_sweep(instance, speeds=(1.0, 1.5, 2.0, 3.0), jobs=args.jobs)
+        return speedup_sweep(
+            instance, speeds=(1.0, 1.5, 2.0, 3.0), jobs=args.jobs, chunksize=args.chunksize
+        )
     if name == "delays":
         policies: Dict[str, Policy] = {
             "alg": OpportunisticLinkScheduler(),
             **standard_baselines(seed=args.seed),
         }
         return delay_heterogeneity_sweep(
-            policies, num_packets=args.packets, seed=args.seed, jobs=args.jobs
+            policies, num_packets=args.packets, seed=args.seed, jobs=args.jobs,
+            chunksize=args.chunksize, retention=args.retention,
         )
     if name == "hybrid":
         return hybrid_fixed_link_sweep(
-            num_racks=args.racks, num_packets=args.packets, seed=args.seed, jobs=args.jobs
+            num_racks=args.racks, num_packets=args.packets, seed=args.seed, jobs=args.jobs,
+            chunksize=args.chunksize, retention=args.retention,
         )
     if name == "tiers":
         return two_tier_sweep(
-            num_racks=args.racks, num_packets=args.packets, seed=args.seed, jobs=args.jobs
+            num_racks=args.racks, num_packets=args.packets, seed=args.seed, jobs=args.jobs,
+            chunksize=args.chunksize, retention=args.retention,
         )
     raise ValueError(f"unknown sweep {name!r}")  # pragma: no cover - argparse guards
 
@@ -316,6 +386,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """Run one (or every) parameter sweep through the parallel runner."""
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunksize < 1:
+        print("error: --chunksize must be >= 1", file=sys.stderr)
         return 2
     if args.output is not None and not Path(args.output).parent.is_dir():
         # Checked up front so a long sweep is not thrown away on a typo.
@@ -333,7 +406,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for row in rows:
             tagged_rows.append({"experiment": name, **dataclasses.asdict(row)})
     if args.output is not None:
-        path = write_json(tagged_rows, args.output)
+        if str(args.output).endswith(".jsonl"):
+            path = write_jsonl(tagged_rows, args.output)
+        else:
+            path = write_json(tagged_rows, args.output)
         print(f"wrote {len(tagged_rows)} rows to {path}")
     return 0
 

@@ -46,6 +46,11 @@ class PendingChunkPool:
         self._by_receiver: Dict[str, List[Chunk]] = {}
         self._all: Set[Chunk] = set()
         self._sorted: List[Chunk] = []
+        # Incrementally maintained O(1) counters: the number of pending
+        # chunks and the total remaining chunk-units of work.  The engine
+        # reports transmitted work through :meth:`debit_work`.
+        self._size = 0
+        self._pending_work = 0.0
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -57,6 +62,8 @@ class PendingChunkPool:
         if not chunk.pending:
             raise SimulationError(f"cannot add non-pending chunk {chunk!r}")
         self._all.add(chunk)
+        self._size += 1
+        self._pending_work += chunk.remaining_work
         insort(self._sorted, chunk, key=chunk_priority_key)
         insort(self._by_edge.setdefault(chunk.edge, []), chunk, key=chunk_priority_key)
         insort(
@@ -78,6 +85,10 @@ class PendingChunkPool:
         if chunk not in self._all:
             raise SimulationError(f"chunk {chunk!r} is not in the pool")
         self._all.discard(chunk)
+        self._size -= 1
+        self._pending_work -= chunk.remaining_work
+        if self._size == 0:
+            self._pending_work = 0.0  # keep float drift from accumulating across bursts
         _sorted_remove(self._sorted, chunk)
         edge_list = self._by_edge[chunk.edge]
         _sorted_remove(edge_list, chunk)
@@ -99,12 +110,32 @@ class PendingChunkPool:
         self._by_receiver.clear()
         self._all.clear()
         self._sorted.clear()
+        self._size = 0
+        self._pending_work = 0.0
+
+    def debit_work(self, amount: float) -> None:
+        """Record that ``amount`` chunk-units of pending work were transmitted.
+
+        Chunk ``remaining_work`` is mutated by the engine, outside the pool's
+        view; this hook keeps :meth:`total_pending_work` an O(1) counter
+        instead of a scan over every index.
+        """
+        self._pending_work -= amount
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._all)
+        return self._size
+
+    def total_pending_work(self) -> float:
+        """Total remaining chunk-units of work across all pending chunks.
+
+        Maintained incrementally (O(1)); equals
+        ``sum(c.remaining_work for c in pool)`` up to float rounding, and is
+        reset exactly to zero whenever the pool empties.
+        """
+        return max(self._pending_work, 0.0)
 
     def __contains__(self, chunk: Chunk) -> bool:
         return chunk in self._all

@@ -50,10 +50,22 @@ def run_policy(
     policy: Policy,
     speed: float = 1.0,
     max_slots: int = 1_000_000,
+    retention: str = "full",
 ) -> SimulationResult:
-    """Run one policy on one instance and return the raw simulation result."""
+    """Run one policy on one instance and return the raw simulation result.
+
+    ``retention="aggregate"`` streams the instance's packets through the
+    engine without keeping per-packet records; the summary numbers are
+    bit-identical to the default in-memory run.
+    """
+    packets = instance.iter_packets() if retention == "aggregate" else instance.packets
     return simulate(
-        instance.topology, policy, instance.packets, speed=speed, max_slots=max_slots
+        instance.topology,
+        policy,
+        packets,
+        speed=speed,
+        max_slots=max_slots,
+        retention=retention,
     )
 
 
@@ -64,6 +76,7 @@ def _comparison_task(task: ExperimentTask) -> Dict[str, Any]:
         task.params["policy"],
         speed=task.params["speed"],
         max_slots=task.params["max_slots"],
+        retention=task.params.get("retention", "full"),
     )
     return {
         "instance": task.params["instance"].name,
@@ -105,13 +118,15 @@ def compare_policies_on_instance(
     speed: float = 1.0,
     max_slots: int = 1_000_000,
     jobs: int = 1,
+    retention: str = "full",
 ) -> List[PolicyComparisonRow]:
     """Run every policy on ``instance`` and normalise costs to the paper's ALG.
 
     ``policies`` defaults to ``{"alg": OpportunisticLinkScheduler()}``; when a
     policy named ``"alg"`` is present its cost is the normalisation baseline,
     otherwise the smallest cost is used.  ``jobs > 1`` runs the policies in
-    parallel worker processes.
+    parallel worker processes; ``retention="aggregate"`` keeps each run's
+    memory bounded by the in-flight state (identical rows either way).
     """
     return compare_policies_on_suite(
         {instance.name: instance},
@@ -119,6 +134,7 @@ def compare_policies_on_instance(
         speed=speed,
         max_slots=max_slots,
         jobs=jobs,
+        retention=retention,
     )
 
 
@@ -128,6 +144,7 @@ def compare_policies_on_suite(
     speed: float = 1.0,
     max_slots: int = 1_000_000,
     jobs: int = 1,
+    retention: str = "full",
 ) -> List[PolicyComparisonRow]:
     """Run the full cross-product of instances × policies (optionally in parallel)."""
     policies = dict(policies) if policies else {"alg": OpportunisticLinkScheduler()}
@@ -138,6 +155,7 @@ def compare_policies_on_suite(
             "policy_name": name,
             "speed": speed,
             "max_slots": max_slots,
+            "retention": retention,
         }
         for instance in instances.values()
         for name, policy in policies.items()

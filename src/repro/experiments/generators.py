@@ -9,23 +9,37 @@ topologies used for the LP-based experiments where instance size matters.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.core.packet import Packet
+from repro.exceptions import ExperimentError
 from repro.network.builders import (
     add_uniform_fixed_links,
     projector_fabric,
     random_bipartite,
     single_tier_crossbar,
 )
+from repro.network.topology import TwoTierTopology
 from repro.utils.rng import SeedSequenceFactory
 from repro.workloads.base import Instance
-from repro.workloads.bursty import bursty_workload, incast_workload
-from repro.workloads.skewed import elephant_mice_workload, zipf_workload
-from repro.workloads.synthetic import hotspot_workload, uniform_random_workload
+from repro.workloads.bursty import bursty_workload, incast_workload, iter_bursty_workload, iter_incast_workload
+from repro.workloads.skewed import (
+    elephant_mice_workload,
+    iter_elephant_mice_workload,
+    iter_zipf_workload,
+    zipf_workload,
+)
+from repro.workloads.synthetic import (
+    hotspot_workload,
+    iter_hotspot_workload,
+    iter_uniform_random_workload,
+    uniform_random_workload,
+)
 from repro.workloads.weights import pareto_weights, uniform_weights
 
 __all__ = [
     "standard_projector_instances",
+    "standard_projector_workload",
     "small_lp_instances",
     "crossbar_instance",
     "hybrid_instance",
@@ -129,6 +143,87 @@ def standard_projector_instances(
     for instance in instances.values():
         instance.validate()
     return instances
+
+
+def standard_projector_workload(
+    pattern: str,
+    num_racks: int = 8,
+    lasers_per_rack: int = 2,
+    num_packets: int = 200,
+    seed: int = 2021,
+) -> Tuple[TwoTierTopology, Iterator[Packet]]:
+    """One workload of the E7 suite as a lazy stream, without building the others.
+
+    The streaming counterpart of :func:`standard_projector_instances` for
+    very large packet counts: the same seed derivation and generator
+    parameters are used, so ``list(stream)`` equals
+    ``standard_projector_instances(...)[pattern].packets``, but only the
+    requested pattern is generated — lazily — instead of six materialised
+    instances.  Returns ``(topology, packet_stream)``.
+    """
+    seeds = SeedSequenceFactory(seed)
+    topo = projector_fabric(
+        num_racks=num_racks,
+        lasers_per_rack=lasers_per_rack,
+        photodetectors_per_rack=lasers_per_rack,
+        seed=seeds.integer_seed("topology"),
+    )
+    if pattern == "uniform":
+        stream = iter_uniform_random_workload(
+            topo,
+            num_packets,
+            weight_sampler=uniform_weights(1, 10),
+            arrival_rate=2.0,
+            seed=seeds.integer_seed("uniform"),
+        )
+    elif pattern == "zipf":
+        stream = iter_zipf_workload(
+            topo,
+            num_packets,
+            exponent=1.2,
+            weight_sampler=pareto_weights(1.5),
+            arrival_rate=2.0,
+            seed=seeds.integer_seed("zipf"),
+        )
+    elif pattern == "elephant-mice":
+        stream = iter_elephant_mice_workload(
+            topo,
+            num_packets,
+            arrival_rate=2.0,
+            seed=seeds.integer_seed("elephant"),
+        )
+    elif pattern == "hotspot":
+        stream = iter_hotspot_workload(
+            topo,
+            num_packets,
+            num_hotspots=2,
+            hotspot_fraction=0.6,
+            weight_sampler=uniform_weights(1, 10),
+            arrival_rate=2.0,
+            seed=seeds.integer_seed("hotspot"),
+        )
+    elif pattern == "bursty":
+        stream = iter_bursty_workload(
+            topo,
+            num_packets,
+            on_rate=4.0,
+            weight_sampler=uniform_weights(1, 10),
+            seed=seeds.integer_seed("bursty"),
+        )
+    elif pattern == "incast":
+        stream = iter_incast_workload(
+            topo,
+            num_senders=num_racks - 1,
+            packets_per_sender=max(2, num_packets // (4 * max(num_racks - 1, 1))),
+            weight_sampler=uniform_weights(1, 10),
+            seed=seeds.integer_seed("incast"),
+        )
+    else:
+        raise ExperimentError(
+            f"unknown workload pattern {pattern!r}; expected one of "
+            "'uniform', 'zipf', 'elephant-mice', 'hotspot', 'bursty', 'incast'"
+        )
+    return topo, stream
 
 
 def small_lp_instances(

@@ -47,9 +47,10 @@ import multiprocessing
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.exceptions import ExperimentError
+from repro.utils.jsonl import iter_json_lines
 from repro.utils.rng import SeedSequenceFactory
 
 __all__ = [
@@ -61,6 +62,9 @@ __all__ = [
     "rows_to_json",
     "write_json",
     "read_json",
+    "write_jsonl",
+    "iter_jsonl",
+    "read_jsonl",
 ]
 
 #: A task function maps one :class:`ExperimentTask` to a row (dataclass or
@@ -191,31 +195,62 @@ class ExperimentRunner:
     ) -> List[Any]:
         """Run every task of ``spec`` and return the rows in grid order.
 
-        When ``output_path`` is given the rows (plus the spec name, root seed
-        and grid size) are also persisted as JSON.
+        When ``output_path`` is given the rows are also persisted: paths
+        ending in ``.jsonl`` are written as JSON Lines (streamed row by row
+        as tasks finish), anything else as one JSON document (plus the spec
+        name, root seed and grid size).
+        """
+        if output_path is not None and str(output_path).endswith(".jsonl"):
+            rows: List[Any] = []
+
+            def tee() -> Iterator[Any]:
+                for row in self.iter_rows(spec):
+                    rows.append(row)
+                    yield row
+
+            write_jsonl(tee(), output_path)
+            return rows
+        rows = list(self.iter_rows(spec))
+        if output_path is not None:
+            write_json(rows, output_path, spec=spec)
+        return rows
+
+    def iter_rows(self, spec: ExperimentSpec) -> Iterator[Any]:
+        """Lazily yield the rows of ``spec`` in grid order.
+
+        The streaming counterpart of :meth:`run`: with ``jobs == 1`` each
+        task is evaluated only when its rows are pulled; with ``jobs > 1``
+        tasks are fanned out through :meth:`multiprocessing.pool.Pool.imap`
+        (bounded by ``chunksize``), so at most a window of task outputs —
+        not the whole grid — is buffered in the parent process.
         """
         tasks = spec.tasks()
         call = partial(_execute_task, spec.task_fn)
         if self.config.jobs == 1 or len(tasks) <= 1:
-            per_task = [call(task) for task in tasks]
-        else:
-            context = multiprocessing.get_context(self.config.start_method)
-            processes = min(self.config.jobs, len(tasks))
-            with context.Pool(processes=processes) as pool:
-                per_task = pool.map(call, tasks, chunksize=self.config.chunksize)
-        rows = [row for task_rows in per_task for row in task_rows]
-        if output_path is not None:
-            write_json(rows, output_path, spec=spec)
-        return rows
+            for task in tasks:
+                yield from call(task)
+            return
+        context = multiprocessing.get_context(self.config.start_method)
+        processes = min(self.config.jobs, len(tasks))
+        with context.Pool(processes=processes) as pool:
+            for task_rows in pool.imap(call, tasks, chunksize=self.config.chunksize):
+                yield from task_rows
 
 
 def run_experiment(
     spec: ExperimentSpec,
     jobs: int = 1,
     output_path: Optional[Union[str, Path]] = None,
+    chunksize: int = 1,
 ) -> List[Any]:
-    """One-call convenience wrapper: run ``spec`` with ``jobs`` workers."""
-    return ExperimentRunner(RunnerConfig(jobs=jobs)).run(spec, output_path=output_path)
+    """One-call convenience wrapper: run ``spec`` with ``jobs`` workers.
+
+    ``chunksize`` is the number of grid points streamed to a worker per
+    dispatch (only meaningful for ``jobs > 1``).
+    """
+    return ExperimentRunner(RunnerConfig(jobs=jobs, chunksize=chunksize)).run(
+        spec, output_path=output_path
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -257,3 +292,27 @@ def read_json(path: Union[str, Path]) -> List[Dict[str, Any]]:
     if not isinstance(document, dict) or "rows" not in document:
         raise ExperimentError(f"{path} does not look like runner JSON output")
     return list(document["rows"])
+
+
+def write_jsonl(rows: Iterable[object], path: Union[str, Path]) -> Path:
+    """Write rows to ``path`` as JSON Lines (one row per line) and return the path.
+
+    Accepts any iterable of rows and streams them out without building the
+    whole document in memory — the persistence format for large sweeps.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for row in rows:
+            handle.write(json.dumps(_row_to_jsonable(row), sort_keys=True) + "\n")
+    return path
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Lazily yield the rows of a JSON Lines file written by :func:`write_jsonl`."""
+    for _line_number, row in iter_json_lines(path, ExperimentError):
+        yield row
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Materialise the rows of a JSON Lines file as a list."""
+    return list(iter_jsonl(path))

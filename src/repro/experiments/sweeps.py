@@ -86,6 +86,7 @@ def competitive_ratio_sweep(
     epsilons: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     use_lp: bool = True,
     jobs: int = 1,
+    chunksize: int = 1,
 ) -> List[CompetitiveRatioRow]:
     """Measure ALG's empirical competitive ratio for several ε on several instances."""
     grid = [
@@ -94,7 +95,7 @@ def competitive_ratio_sweep(
         for epsilon in epsilons
     ]
     spec = ExperimentSpec(name="competitive-ratio", task_fn=_competitive_ratio_task, grid=grid)
-    return run_experiment(spec, jobs=jobs)
+    return run_experiment(spec, jobs=jobs, chunksize=chunksize)
 
 
 # ---------------------------------------------------------------------- #
@@ -133,6 +134,7 @@ def speedup_sweep(
     policy: Optional[Policy] = None,
     lp_horizon: Optional[int] = None,
     jobs: int = 1,
+    chunksize: int = 1,
 ) -> List[SpeedupRow]:
     """Run ALG at several speeds against the speed-1 LP lower bound.
 
@@ -153,7 +155,7 @@ def speedup_sweep(
         for speed in speeds
     ]
     spec = ExperimentSpec(name="speedup", task_fn=_speedup_task, grid=grid)
-    return run_experiment(spec, jobs=jobs)
+    return run_experiment(spec, jobs=jobs, chunksize=chunksize)
 
 
 # ---------------------------------------------------------------------- #
@@ -191,13 +193,14 @@ def _delay_heterogeneity_task(task: ExperimentTask) -> DelaySweepRow:
     instance = Instance(
         name=f"delays-{'-'.join(map(str, pool))}", topology=topo, packets=packets
     )
-    result = run_policy(instance, task.params["policy"])
-    completion = result.flow_completion_times()
+    result = run_policy(
+        instance, task.params["policy"], retention=task.params.get("retention", "full")
+    )
     return DelaySweepRow(
         delay_pool="/".join(map(str, pool)),
         policy=task.params["policy_name"],
         total_weighted_latency=result.total_weighted_latency,
-        mean_completion_time=sum(completion) / len(completion),
+        mean_completion_time=result.mean_flow_completion_time,
     )
 
 
@@ -209,6 +212,8 @@ def delay_heterogeneity_sweep(
     num_packets: int = 120,
     seed: int = 5,
     jobs: int = 1,
+    chunksize: int = 1,
+    retention: str = "full",
 ) -> List[DelaySweepRow]:
     """Compare policies as the reconfigurable-edge delay distribution widens (E8)."""
     seeds = SeedSequenceFactory(seed)
@@ -222,6 +227,7 @@ def delay_heterogeneity_sweep(
             "num_packets": num_packets,
             "topo_seed": seeds.integer_seed("topo", tuple(pool)),
             "packets_seed": seeds.integer_seed("packets", tuple(pool)),
+            "retention": retention,
         }
         for pool in delay_pools
         for name, policy in policies.items()
@@ -229,7 +235,7 @@ def delay_heterogeneity_sweep(
     spec = ExperimentSpec(
         name="delay-heterogeneity", task_fn=_delay_heterogeneity_task, grid=grid, seed=seed
     )
-    return run_experiment(spec, jobs=jobs)
+    return run_experiment(spec, jobs=jobs, chunksize=chunksize)
 
 
 # ---------------------------------------------------------------------- #
@@ -264,7 +270,9 @@ def _hybrid_fixed_link_task(task: ExperimentTask) -> HybridSweepRow:
         seed=task.params["packets_seed"],
     )
     instance = Instance(name=f"hybrid-dl{delay}", topology=topo, packets=packets)
-    result = run_policy(instance, OpportunisticLinkScheduler())
+    result = run_policy(
+        instance, OpportunisticLinkScheduler(), retention=task.params.get("retention", "full")
+    )
     return HybridSweepRow(
         fixed_link_delay=delay,
         total_weighted_latency=result.total_weighted_latency,
@@ -279,6 +287,8 @@ def hybrid_fixed_link_sweep(
     num_packets: int = 150,
     seed: int = 17,
     jobs: int = 1,
+    chunksize: int = 1,
+    retention: str = "full",
 ) -> List[HybridSweepRow]:
     """Sweep the fixed-link delay of a hybrid fabric and measure ALG's offload split (E9).
 
@@ -295,13 +305,14 @@ def hybrid_fixed_link_sweep(
             "num_packets": num_packets,
             "topo_seed": topo_seed,
             "packets_seed": packets_seed,
+            "retention": retention,
         }
         for delay in fixed_link_delays
     ]
     spec = ExperimentSpec(
         name="hybrid-fixed-link", task_fn=_hybrid_fixed_link_task, grid=grid, seed=seed
     )
-    return run_experiment(spec, jobs=jobs)
+    return run_experiment(spec, jobs=jobs, chunksize=chunksize)
 
 
 # ---------------------------------------------------------------------- #
@@ -335,12 +346,13 @@ def _two_tier_task(task: ExperimentTask) -> TierSweepRow:
         seed=task.params["packets_seed"],
     )
     instance = Instance(name=f"tiers-{lasers}", topology=topo, packets=packets)
-    result = run_policy(instance, OpportunisticLinkScheduler())
-    sizes = result.matching_sizes
+    result = run_policy(
+        instance, OpportunisticLinkScheduler(), retention=task.params.get("retention", "full")
+    )
     return TierSweepRow(
         lasers_per_rack=lasers,
         total_weighted_latency=result.total_weighted_latency,
-        mean_matching_size=sum(sizes) / len(sizes) if sizes else 0.0,
+        mean_matching_size=result.mean_matching_size,
         num_slots=result.num_slots,
     )
 
@@ -351,6 +363,8 @@ def two_tier_sweep(
     num_packets: int = 150,
     seed: int = 23,
     jobs: int = 1,
+    chunksize: int = 1,
+    retention: str = "full",
 ) -> List[TierSweepRow]:
     """Vary the number of lasers/photodetectors per rack (E10).
 
@@ -367,8 +381,9 @@ def two_tier_sweep(
             "num_packets": num_packets,
             "topo_seed": seeds.integer_seed("topology", lasers),
             "packets_seed": packets_seed,
+            "retention": retention,
         }
         for lasers in lasers_per_rack
     ]
     spec = ExperimentSpec(name="two-tier", task_fn=_two_tier_task, grid=grid, seed=seed)
-    return run_experiment(spec, jobs=jobs)
+    return run_experiment(spec, jobs=jobs, chunksize=chunksize)

@@ -1,5 +1,6 @@
 """Time-slotted simulation of two-tier reconfigurable datacenter fabrics."""
 
+from repro.simulation.accumulators import CompensatedSum, OnlineSummary, compensated_total
 from repro.simulation.engine import EngineConfig, SimulationEngine, simulate
 from repro.simulation.metrics import (
     LatencyStatistics,
@@ -15,7 +16,10 @@ from repro.simulation.trace import (
     DispatchEvent,
     SimulationTrace,
     SlotTrace,
+    SlotTraceWriter,
     TransmissionEvent,
+    iter_slot_traces,
+    read_simulation_trace,
 )
 
 __all__ = [
@@ -24,10 +28,16 @@ __all__ = [
     "simulate",
     "SimulationResult",
     "PacketRecord",
+    "CompensatedSum",
+    "OnlineSummary",
+    "compensated_total",
     "SimulationTrace",
     "SlotTrace",
     "DispatchEvent",
     "TransmissionEvent",
+    "SlotTraceWriter",
+    "iter_slot_traces",
+    "read_simulation_trace",
     "LatencyStatistics",
     "latency_statistics",
     "completion_time_statistics",

@@ -18,24 +18,33 @@ The engine implements the execution model of Section II:
 
 The engine is policy-agnostic: the paper's algorithm and every baseline run
 through the same code path, which keeps comparisons fair.
+
+Arrivals are *pulled* from the input on demand, one arrival batch per slot,
+so the engine composes with the lazy workload generators in
+:mod:`repro.workloads`: with ``retention="aggregate"`` a million-packet
+stream is simulated in O(active chunks) memory, while ``retention="full"``
+(the default) materialises the input and keeps a per-packet record exactly
+as before.  Both retentions produce bit-identical ``summary()`` numbers.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.interfaces import Policy
 from repro.core.packet import Chunk, EdgeAssignment, FixedLinkAssignment, Packet
 from repro.core.queues import PendingChunkPool
 from repro.exceptions import SchedulingError, SimulationError
 from repro.network.topology import TwoTierTopology
-from repro.simulation.results import PacketRecord, SimulationResult
+from repro.simulation.accumulators import OnlineSummary
+from repro.simulation.results import RETENTION_MODES, PacketRecord, SimulationResult
 from repro.simulation.trace import (
     DispatchEvent,
     SimulationTrace,
     SlotTrace,
+    SlotTraceWriter,
     TransmissionEvent,
 )
 
@@ -60,7 +69,7 @@ class EngineConfig:
         :class:`~repro.exceptions.SimulationError` (it indicates a policy
         that never drains its queues).
     record_trace:
-        Whether to record a full per-slot event trace.
+        Whether to record a full per-slot event trace in memory.
     validate_matchings:
         Whether to check that the scheduler's output is a valid matching of
         eligible pending chunks each slot (cheap; enabled by default).
@@ -73,6 +82,20 @@ class EngineConfig:
         on), so results are identical to the slot-by-slot walk for any
         scheduler that selects nothing — and mutates nothing — when the pool
         is empty, which holds for every scheduler in this repository.
+    retention:
+        ``"full"`` (default) keeps a per-packet :class:`PacketRecord` and the
+        per-slot ``matching_sizes`` list; ``"aggregate"`` consumes the input
+        as a stream and keeps only online summary accumulators, so memory is
+        bounded by the number of *in-flight* chunks rather than the number of
+        packets.  Aggregate mode requires the input stream to yield packets
+        with non-decreasing arrival slots and strictly increasing packet ids
+        (the canonical order every workload generator and trace reader in
+        this repository produces).
+    trace_path:
+        When set, every slot trace is appended to this JSONL file (one slot
+        per line, see :class:`~repro.simulation.trace.SlotTraceWriter`) and
+        then discarded, independent of ``record_trace`` — the streamed trace
+        of an arbitrarily long run costs O(1) memory.
     """
 
     speed: float = 1.0
@@ -80,12 +103,214 @@ class EngineConfig:
     record_trace: bool = False
     validate_matchings: bool = True
     slot_skipping: bool = True
+    retention: str = "full"
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
             raise ValueError(f"speed must be positive, got {self.speed}")
         if self.max_slots < 1:
             raise ValueError(f"max_slots must be >= 1, got {self.max_slots}")
+        if self.retention not in RETENTION_MODES:
+            raise ValueError(
+                f"retention must be one of {RETENTION_MODES}, got {self.retention!r}"
+            )
+
+
+# ---------------------------------------------------------------------- #
+# arrival sources: pull the next arrival batch on demand
+# ---------------------------------------------------------------------- #
+class _BufferedArrivals:
+    """Arrival source over a materialised packet list (retention="full").
+
+    Reproduces the historical semantics exactly: packets may appear in any
+    order, are bucketed by arrival slot up front, and are dispatched in input
+    order within each slot.
+    """
+
+    def __init__(self, packets: Sequence[Packet]) -> None:
+        self._by_slot: Dict[int, List[Packet]] = {}
+        for packet in packets:
+            self._by_slot.setdefault(packet.arrival, []).append(packet)
+        self._slots = sorted(self._by_slot)
+        self._next = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self._slots)
+
+    def next_slot(self) -> Optional[int]:
+        if self.exhausted:
+            return None
+        return self._slots[self._next]
+
+    def pop(self, slot: int) -> List[Packet]:
+        if self.next_slot() != slot:
+            return []
+        self._next += 1
+        return self._by_slot.pop(slot)
+
+
+class _StreamedArrivals:
+    """Arrival source that pulls packets lazily from an iterator.
+
+    Keeps a single packet of lookahead, so memory is O(1) in the stream
+    length.  Validates, while pulling, that arrivals are non-decreasing and
+    packet ids strictly increasing — the cheap streaming substitute for the
+    global duplicate-id check of the materialised path — and that every
+    packet is routable on the topology.
+    """
+
+    def __init__(self, packets: Iterable[Packet], topology: TwoTierTopology) -> None:
+        self._iter: Iterator[Packet] = iter(packets)
+        self._topology = topology
+        self._lookahead: Optional[Packet] = None
+        self._last_id = -1
+        self._last_slot = 0
+        self._advance()
+
+    def _advance(self) -> None:
+        packet = next(self._iter, None)
+        if packet is not None:
+            if packet.packet_id <= self._last_id:
+                raise SimulationError(
+                    f"streamed packet ids must be strictly increasing; got id "
+                    f"{packet.packet_id} after id {self._last_id}"
+                )
+            if packet.arrival < self._last_slot:
+                raise SimulationError(
+                    f"streamed arrivals must be non-decreasing; packet "
+                    f"{packet.packet_id} arrives at slot {packet.arrival} after "
+                    f"slot {self._last_slot}"
+                )
+            if not self._topology.can_route(packet.source, packet.destination):
+                raise SimulationError(
+                    f"packet {packet.packet_id} ({packet.source}->{packet.destination}) "
+                    "cannot be routed on this topology"
+                )
+            self._last_id = packet.packet_id
+            self._last_slot = packet.arrival
+        self._lookahead = packet
+
+    @property
+    def exhausted(self) -> bool:
+        return self._lookahead is None
+
+    def next_slot(self) -> Optional[int]:
+        if self._lookahead is None:
+            return None
+        return self._lookahead.arrival
+
+    def pop(self, slot: int) -> List[Packet]:
+        batch: List[Packet] = []
+        while self._lookahead is not None and self._lookahead.arrival == slot:
+            batch.append(self._lookahead)
+            self._advance()
+        return batch
+
+
+_ArrivalSource = Union[_BufferedArrivals, _StreamedArrivals]
+
+
+# ---------------------------------------------------------------------- #
+# per-packet accounting: full records vs online aggregates
+# ---------------------------------------------------------------------- #
+class _FullRecorder:
+    """Keeps the historical per-packet :class:`PacketRecord` map."""
+
+    def __init__(self, result: SimulationResult) -> None:
+        self._result = result
+        self._undelivered: Dict[int, int] = {}
+
+    def on_dispatch(self, packet: Packet, assignment) -> None:
+        if isinstance(assignment, FixedLinkAssignment):
+            record = PacketRecord(
+                packet=packet,
+                assignment=assignment,
+                completion_time=assignment.completion_time,
+                weighted_latency=assignment.weighted_latency,
+            )
+        else:
+            record = PacketRecord(packet=packet, assignment=assignment)
+            self._undelivered[packet.packet_id] = len(assignment.chunks)
+        self._result.records[packet.packet_id] = record
+
+    def add_latency(self, packet: Packet, contribution: float) -> None:
+        self._result.records[packet.packet_id].weighted_latency += contribution
+
+    def on_chunk_completed(self, chunk: Chunk) -> None:
+        pid = chunk.packet.packet_id
+        self._undelivered[pid] -= 1
+        if self._undelivered[pid] == 0:
+            record = self._result.records[pid]
+            record.completion_time = max(
+                (c.delivery_time or 0.0) for c in record.assignment.chunks
+            )
+
+    def note_matchings(self, count: int, total: int, largest: int, nonempty: int) -> None:
+        pass  # matching_sizes list is appended by the engine loop itself
+
+
+class _AggregateRecorder:
+    """Streams per-packet outcomes into an :class:`OnlineSummary`.
+
+    Holds one small entry per *in-flight* packet and a buffer of
+    completed-but-not-yet-finalised packets.  Final per-packet values are
+    folded into the compensated totals in dispatch order — deferring
+    out-of-order completions — so the totals are bit-identical to summing
+    the full records in record order.
+    """
+
+    __slots__ = ("summary", "_active", "_finished", "_next_order", "_next_finalize")
+
+    def __init__(self, summary: OnlineSummary) -> None:
+        self.summary = summary
+        # pid -> [dispatch order, undelivered chunks, weighted latency, max delivery]
+        self._active: Dict[int, List[float]] = {}
+        self._finished: Dict[int, Tuple[float, float]] = {}
+        self._next_order = 0
+        self._next_finalize = 0
+
+    def on_dispatch(self, packet: Packet, assignment) -> None:
+        order = self._next_order
+        self._next_order += 1
+        self.summary.add_dispatch(assignment.impact, assignment.uses_fixed_link)
+        if isinstance(assignment, FixedLinkAssignment):
+            self.summary.count_delivered()
+            self._finish(
+                order,
+                assignment.weighted_latency,
+                assignment.completion_time - packet.arrival,
+            )
+        else:
+            self._active[packet.packet_id] = [order, len(assignment.chunks), 0.0, 0.0]
+
+    def add_latency(self, packet: Packet, contribution: float) -> None:
+        self._active[packet.packet_id][2] += contribution
+
+    def on_chunk_completed(self, chunk: Chunk) -> None:
+        pid = chunk.packet.packet_id
+        entry = self._active[pid]
+        entry[1] -= 1
+        if chunk.delivery_time > entry[3]:
+            entry[3] = chunk.delivery_time
+        if entry[1] == 0:
+            del self._active[pid]
+            self.summary.count_delivered()
+            self._finish(int(entry[0]), entry[2], entry[3] - chunk.packet.arrival)
+
+    def _finish(self, order: int, weighted_latency: float, completion: float) -> None:
+        self._finished[order] = (weighted_latency, completion)
+        while self._next_finalize in self._finished:
+            latency, flow_time = self._finished.pop(self._next_finalize)
+            self.summary.add_completion(latency, flow_time)
+            self._next_finalize += 1
+
+    def note_matchings(self, count: int, total: int, largest: int, nonempty: int) -> None:
+        self.summary.add_matchings(count, total, largest, nonempty)
+
+
+_Recorder = Union[_FullRecorder, _AggregateRecorder]
 
 
 class SimulationEngine:
@@ -100,11 +325,13 @@ class SimulationEngine:
         speed: Optional[float] = None,
         record_trace: Optional[bool] = None,
         max_slots: Optional[int] = None,
+        retention: Optional[str] = None,
     ) -> None:
         """Create an engine for ``policy`` on ``topology``.
 
-        ``speed``, ``record_trace`` and ``max_slots`` are keyword shortcuts
-        that override the corresponding :class:`EngineConfig` fields.
+        ``speed``, ``record_trace``, ``max_slots`` and ``retention`` are
+        keyword shortcuts that override the corresponding
+        :class:`EngineConfig` fields.
         """
         topology.freeze()
         self.topology = topology
@@ -116,6 +343,8 @@ class SimulationEngine:
             record_trace=base.record_trace if record_trace is None else record_trace,
             validate_matchings=base.validate_matchings,
             slot_skipping=base.slot_skipping,
+            retention=base.retention if retention is None else retention,
+            trace_path=base.trace_path,
         )
 
     # ------------------------------------------------------------------ #
@@ -124,97 +353,126 @@ class SimulationEngine:
     def run(self, packets: Iterable[Packet]) -> SimulationResult:
         """Simulate the online arrival and transmission of ``packets``.
 
-        Returns a :class:`~repro.simulation.results.SimulationResult`; raises
+        ``packets`` may be any iterable; with ``retention="aggregate"`` it is
+        consumed lazily (one arrival batch pulled per slot) and never
+        materialised.  Returns a
+        :class:`~repro.simulation.results.SimulationResult`; raises
         :class:`~repro.exceptions.SimulationError` if the configured slot
         budget is exhausted before every packet is delivered.
         """
-        packet_list = self._validate_packets(packets)
+        aggregate = self.config.retention == "aggregate"
         self.policy.reset()
 
         result = SimulationResult(
             policy_name=self.policy.name,
             topology_name=self.topology.name,
             speed=self.config.speed,
+            retention=self.config.retention,
             trace=SimulationTrace() if self.config.record_trace else None,
+            aggregates=OnlineSummary() if aggregate else None,
         )
-        if not packet_list:
+        if aggregate:
+            arrivals: _ArrivalSource = _StreamedArrivals(packets, self.topology)
+            recorder: _Recorder = _AggregateRecorder(result.aggregates)
+        else:
+            arrivals = _BufferedArrivals(self._validate_packets(packets))
+            recorder = _FullRecorder(result)
+
+        first_slot = arrivals.next_slot()
+        if first_slot is None:
             return result
 
-        arrivals_by_slot: Dict[int, List[Packet]] = {}
-        for packet in packet_list:
-            arrivals_by_slot.setdefault(packet.arrival, []).append(packet)
-        arrival_slots = sorted(arrivals_by_slot)
+        writer = SlotTraceWriter(self.config.trace_path) if self.config.trace_path else None
+        try:
+            self._run_loop(first_slot, arrivals, recorder, result, writer)
+        finally:
+            if writer is not None:
+                writer.close()
+        return result
 
+    def _run_loop(
+        self,
+        slot: int,
+        arrivals: _ArrivalSource,
+        recorder: _Recorder,
+        result: SimulationResult,
+        writer: Optional[SlotTraceWriter],
+    ) -> None:
+        aggregate = self.config.retention == "aggregate"
+        want_events = self.config.record_trace or writer is not None
         pool = PendingChunkPool()
-        undelivered_chunks: Dict[int, int] = {}
-        remaining_arrivals = len(packet_list)
-        next_arrival = 0  # index of the next undispatched slot in arrival_slots
-
-        slot = arrival_slots[0]
         result.first_slot = slot
         slots_simulated = 0
 
-        while remaining_arrivals > 0 or not pool.is_empty():
+        while not arrivals.exhausted or len(pool) > 0:
             slots_simulated += 1
             if slots_simulated > self.config.max_slots:
                 raise SimulationError(
                     f"simulation exceeded max_slots={self.config.max_slots} "
-                    f"({remaining_arrivals} arrivals pending, {len(pool)} chunks pending)"
+                    f"(arrivals exhausted: {arrivals.exhausted}, {len(pool)} chunks "
+                    f"/ {pool.total_pending_work():.6g} chunk-units of work pending)"
                 )
-            slot_trace = SlotTrace(slot=slot) if self.config.record_trace else None
+            slot_trace = SlotTrace(slot=slot) if want_events else None
 
-            # 1. Release and dispatch this slot's arrivals, in input order.
-            if next_arrival < len(arrival_slots) and arrival_slots[next_arrival] == slot:
-                next_arrival += 1
-                for packet in arrivals_by_slot[slot]:
-                    remaining_arrivals -= 1
-                    self._dispatch_packet(
-                        packet, pool, slot, result, undelivered_chunks, slot_trace
-                    )
+            # 1. Pull and dispatch this slot's arrival batch, in input order.
+            for packet in arrivals.pop(slot):
+                self._dispatch_packet(packet, pool, slot, recorder, slot_trace)
 
             # 2. Ask the scheduler for this slot's matching and transmit it.
             matching = self.policy.scheduler.select_matching(pool, self.topology, slot)
             if self.config.validate_matchings:
                 self._validate_matching(matching, pool, slot)
-            result.matching_sizes.append(len(matching))
+            size = len(matching)
+            if aggregate:
+                recorder.note_matchings(1, size, size, 1 if size else 0)
+            else:
+                result.matching_sizes.append(size)
             if slot_trace is not None:
                 slot_trace.matching = [chunk.edge for chunk in matching]
 
             for chunk in matching:
-                self._transmit_on_edge(chunk, pool, slot, result, undelivered_chunks, slot_trace)
+                self._transmit_on_edge(chunk, pool, slot, recorder, slot_trace)
 
             if slot_trace is not None:
-                result.trace.slots.append(slot_trace)
+                if self.config.record_trace:
+                    result.trace.slots.append(slot_trace)
+                if writer is not None:
+                    writer.write(slot_trace)
             result.last_slot = slot
             slot += 1
 
             # 3. Fast path: with no pending chunks, no slot can transmit
             #    anything until the next arrival — jump straight to it.
+            next_arrival = arrivals.next_slot()
             if (
                 self.config.slot_skipping
-                and remaining_arrivals > 0
-                and pool.is_empty()
-                and arrival_slots[next_arrival] > slot
+                and next_arrival is not None
+                and len(pool) == 0
+                and next_arrival > slot
             ):
-                target = arrival_slots[next_arrival]
-                skipped = target - slot
+                skipped = next_arrival - slot
                 slots_simulated += skipped
                 if slots_simulated > self.config.max_slots:
                     raise SimulationError(
                         f"simulation exceeded max_slots={self.config.max_slots} "
-                        f"({remaining_arrivals} arrivals pending, {len(pool)} chunks pending)"
+                        f"(arrivals exhausted: {arrivals.exhausted}, {len(pool)} chunks "
+                        f"/ {pool.total_pending_work():.6g} chunk-units of work pending)"
                     )
                 # Keep the per-slot aggregates (and, when tracing, the empty
                 # slot traces) identical to the slot-by-slot walk.
-                result.matching_sizes.extend([0] * skipped)
-                if self.config.record_trace:
-                    result.trace.slots.extend(
-                        SlotTrace(slot=empty) for empty in range(slot, target)
-                    )
-                result.last_slot = target - 1
-                slot = target
-
-        return result
+                if aggregate:
+                    recorder.note_matchings(skipped, 0, 0, 0)
+                else:
+                    result.matching_sizes.extend([0] * skipped)
+                if want_events:
+                    for empty in range(slot, next_arrival):
+                        empty_trace = SlotTrace(slot=empty)
+                        if self.config.record_trace:
+                            result.trace.slots.append(empty_trace)
+                        if writer is not None:
+                            writer.write(empty_trace)
+                result.last_slot = next_arrival - 1
+                slot = next_arrival
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -238,30 +496,22 @@ class SimulationEngine:
         packet: Packet,
         pool: PendingChunkPool,
         slot: int,
-        result: SimulationResult,
-        undelivered_chunks: Dict[int, int],
+        recorder: _Recorder,
         slot_trace: Optional[SlotTrace],
     ) -> None:
         assignment = self.policy.dispatcher.dispatch(packet, self.topology, pool, slot)
-        if isinstance(assignment, FixedLinkAssignment):
-            record = PacketRecord(
-                packet=packet,
-                assignment=assignment,
-                completion_time=assignment.completion_time,
-                weighted_latency=assignment.weighted_latency,
-            )
-        elif isinstance(assignment, EdgeAssignment):
+        if isinstance(assignment, EdgeAssignment):
             if not self.topology.has_edge(assignment.transmitter, assignment.receiver):
                 raise SimulationError(
                     f"dispatcher assigned packet {packet.packet_id} to non-existent edge "
                     f"{assignment.edge}"
                 )
-            record = PacketRecord(packet=packet, assignment=assignment)
-            undelivered_chunks[packet.packet_id] = len(assignment.chunks)
+            recorder.on_dispatch(packet, assignment)
             pool.add_all(assignment.chunks)
+        elif isinstance(assignment, FixedLinkAssignment):
+            recorder.on_dispatch(packet, assignment)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown assignment type {type(assignment).__name__}")
-        result.records[packet.packet_id] = record
         if slot_trace is not None:
             slot_trace.arrivals.append(packet.packet_id)
             slot_trace.dispatches.append(
@@ -299,8 +549,7 @@ class SimulationEngine:
         head_chunk: Chunk,
         pool: PendingChunkPool,
         slot: int,
-        result: SimulationResult,
-        undelivered_chunks: Dict[int, int],
+        recorder: _Recorder,
         slot_trace: Optional[SlotTrace],
     ) -> None:
         """Transmit up to ``speed`` chunk-units of work on ``head_chunk``'s edge."""
@@ -319,6 +568,7 @@ class SimulationEngine:
                 continue
             budget -= amount
             chunk.remaining_work -= amount
+            pool.debit_work(amount)
             completed = chunk.remaining_work <= _WORK_EPSILON
             if completed:
                 chunk.remaining_work = 0.0
@@ -329,16 +579,11 @@ class SimulationEngine:
             packet = chunk.packet
             fraction = amount * chunk.size
             delivery_time = slot + 1 + chunk.tail_delay
-            record = result.records[packet.packet_id]
-            record.weighted_latency += fraction * packet.weight * (
-                delivery_time - packet.arrival
+            recorder.add_latency(
+                packet, fraction * packet.weight * (delivery_time - packet.arrival)
             )
             if completed:
-                undelivered_chunks[packet.packet_id] -= 1
-                if undelivered_chunks[packet.packet_id] == 0:
-                    record.completion_time = max(
-                        (c.delivery_time or 0.0) for c in record.assignment.chunks
-                    )
+                recorder.on_chunk_completed(chunk)
             if slot_trace is not None:
                 slot_trace.transmissions.append(
                     TransmissionEvent(
@@ -358,6 +603,8 @@ def simulate(
     speed: float = 1.0,
     record_trace: bool = False,
     max_slots: int = 1_000_000,
+    retention: str = "full",
+    trace_path: Optional[str] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`.
 
@@ -373,6 +620,12 @@ def simulate(
     engine = SimulationEngine(
         topology,
         policy,
-        EngineConfig(speed=speed, record_trace=record_trace, max_slots=max_slots),
+        EngineConfig(
+            speed=speed,
+            record_trace=record_trace,
+            max_slots=max_slots,
+            retention=retention,
+            trace_path=trace_path,
+        ),
     )
     return engine.run(packets)

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.simulation.accumulators import CompensatedSum, compensated_total
 from repro.simulation.results import SimulationResult
 
 __all__ = [
@@ -56,10 +57,13 @@ def _stats(values: Sequence[float]) -> LatencyStatistics:
     if not values:
         return LatencyStatistics(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
     arr = np.asarray(values, dtype=float)
+    # Summary totals use compensated summation so large-N aggregates do not
+    # drift (regression-tested against math.fsum).
+    total = compensated_total(values)
     return LatencyStatistics(
         count=int(arr.size),
-        total=float(arr.sum()),
-        mean=float(arr.mean()),
+        total=total,
+        mean=total / arr.size,
         median=float(np.median(arr)),
         p95=float(np.percentile(arr, 95)),
         p99=float(np.percentile(arr, 99)),
@@ -78,7 +82,20 @@ def completion_time_statistics(result: SimulationResult) -> LatencyStatistics:
 
 
 def matching_occupancy(result: SimulationResult) -> Dict[str, float]:
-    """Aggregate statistics of the per-slot matching sizes."""
+    """Aggregate statistics of the per-slot matching sizes.
+
+    Works in both retention modes: with ``retention="aggregate"`` the numbers
+    come from the engine's online counters instead of the per-slot list.
+    """
+    if result.is_aggregate:
+        agg = result.aggregates
+        if agg is None or not agg.matching_slots:
+            return {"mean": 0.0, "max": 0.0, "nonempty_fraction": 0.0}
+        return {
+            "mean": agg.matching_total / agg.matching_slots,
+            "max": float(agg.matching_max),
+            "nonempty_fraction": agg.matching_nonempty / agg.matching_slots,
+        }
     sizes = result.matching_sizes
     if not sizes:
         return {"mean": 0.0, "max": 0.0, "nonempty_fraction": 0.0}
@@ -100,18 +117,18 @@ def recompute_weighted_latency(result: SimulationResult) -> float:
     transmissions spread over several slots this is an upper bound (it charges
     the whole chunk at its final delivery time).
     """
-    total = 0.0
+    total = CompensatedSum()
     for record in result:
         if record.used_fixed_link:
-            total += record.assignment.weighted_latency
+            total.add(record.assignment.weighted_latency)
             continue
         for chunk in record.chunks:
             if chunk.delivery_time is None:
                 raise ValueError(
                     f"chunk {chunk!r} has no delivery time; run did not complete"
                 )
-            total += chunk.weight * (chunk.delivery_time - record.packet.arrival)
-    return total
+            total.add(chunk.weight * (chunk.delivery_time - record.packet.arrival))
+    return total.value
 
 
 def per_source_latency(result: SimulationResult) -> Dict[str, float]:

@@ -5,6 +5,13 @@ assignment (and hence the dual variable ``α_p``), the packet's completion
 time and its weighted fractional latency, plus per-slot aggregates (matching
 sizes) and an optional full event trace.  The analysis package reconstructs
 the dual ``β`` variables from the chunk objects referenced here.
+
+With ``retention="aggregate"`` the engine keeps none of the per-packet
+records; only the :class:`~repro.simulation.accumulators.OnlineSummary`
+aggregates survive.  Summary-level accessors (``summary()``,
+``total_weighted_latency``, ``all_delivered``, …) work in both modes and
+produce bit-identical numbers; per-packet accessors raise
+:class:`ValueError` in aggregate mode.
 """
 
 from __future__ import annotations
@@ -13,9 +20,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.core.packet import Assignment, Chunk, Packet
+from repro.simulation.accumulators import OnlineSummary, compensated_total
 from repro.simulation.trace import SimulationTrace
 
-__all__ = ["PacketRecord", "SimulationResult"]
+__all__ = ["PacketRecord", "SimulationResult", "RETENTION_MODES"]
+
+#: Valid values of ``EngineConfig.retention`` / ``SimulationResult.retention``.
+RETENTION_MODES = ("full", "aggregate")
 
 
 @dataclass
@@ -74,95 +85,163 @@ class PacketRecord:
 
 @dataclass
 class SimulationResult:
-    """Outcome of one simulation run of a policy on an instance."""
+    """Outcome of one simulation run of a policy on an instance.
+
+    ``retention`` mirrors the engine configuration that produced the result:
+    ``"full"`` keeps a :class:`PacketRecord` per packet in :attr:`records`
+    and the per-slot :attr:`matching_sizes`; ``"aggregate"`` keeps only the
+    :attr:`aggregates` accumulators (O(1) memory in the number of packets).
+    """
 
     policy_name: str
     topology_name: str
     speed: float
+    retention: str = "full"
     records: Dict[int, PacketRecord] = field(default_factory=dict)
     first_slot: int = 0
     last_slot: int = 0
     matching_sizes: List[int] = field(default_factory=list)
     trace: Optional[SimulationTrace] = None
+    aggregates: Optional[OnlineSummary] = None
+
+    # ------------------------------------------------------------------ #
+    # retention plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this result holds only streaming aggregates."""
+        return self.retention == "aggregate"
+
+    def _require_records(self, what: str) -> None:
+        if self.is_aggregate:
+            raise ValueError(
+                f"{what} requires per-packet records, which retention='aggregate' "
+                "does not keep; rerun with retention='full'"
+            )
 
     # ------------------------------------------------------------------ #
     # aggregate accessors
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
+        if self.is_aggregate:
+            return self.aggregates.num_packets if self.aggregates else 0
         return len(self.records)
 
     def __iter__(self) -> Iterator[PacketRecord]:
+        self._require_records("iterating packet records")
         return iter(self.records.values())
 
     def record(self, packet_id: int) -> PacketRecord:
         """The :class:`PacketRecord` of packet ``packet_id``."""
+        self._require_records("record()")
         return self.records[packet_id]
 
     @property
     def packets(self) -> List[Packet]:
         """All packets of the run, in packet-id order."""
+        self._require_records("packets")
         return [self.records[pid].packet for pid in sorted(self.records)]
 
     @property
     def all_delivered(self) -> bool:
         """Whether every packet completed within the simulated horizon."""
+        if self.is_aggregate:
+            return self.aggregates.all_delivered if self.aggregates else True
         return all(rec.delivered for rec in self.records.values())
 
     @property
     def total_weighted_latency(self) -> float:
-        """The objective value: total weighted fractional latency of the run."""
-        return sum(rec.weighted_latency for rec in self.records.values())
+        """The objective value: total weighted fractional latency of the run.
+
+        Summed with Neumaier compensation (in dispatch order) so large-N
+        totals do not drift; bit-identical between retention modes.
+        """
+        if self.is_aggregate:
+            return self.aggregates.total_weighted_latency if self.aggregates else 0.0
+        return compensated_total(rec.weighted_latency for rec in self.records.values())
 
     @property
     def total_alpha(self) -> float:
         """Sum of the dual variables ``α_p`` recorded at dispatch time."""
-        return sum(rec.alpha for rec in self.records.values())
+        if self.is_aggregate:
+            return self.aggregates.total_alpha if self.aggregates else 0.0
+        return compensated_total(rec.alpha for rec in self.records.values())
+
+    @property
+    def total_flow_completion_time(self) -> float:
+        """Sum of per-packet (unweighted) flow completion times."""
+        if self.is_aggregate:
+            return self.aggregates.total_completion_time if self.aggregates else 0.0
+        return compensated_total(
+            self.records[pid].flow_completion_time for pid in sorted(self.records)
+        )
+
+    @property
+    def mean_flow_completion_time(self) -> float:
+        """Average (unweighted) flow completion time."""
+        n = len(self)
+        return self.total_flow_completion_time / n if n else 0.0
 
     @property
     def num_slots(self) -> int:
         """Number of transmission slots simulated."""
-        return max(0, self.last_slot - self.first_slot + 1) if self.records else 0
+        return max(0, self.last_slot - self.first_slot + 1) if len(self) else 0
 
     @property
     def num_fixed_link_packets(self) -> int:
         """Number of packets routed over the fixed network."""
+        if self.is_aggregate:
+            return self.aggregates.num_fixed_link if self.aggregates else 0
         return sum(1 for rec in self.records.values() if rec.used_fixed_link)
 
     @property
     def fixed_link_fraction(self) -> float:
         """Fraction of packets routed over the fixed network."""
-        if not self.records:
+        n = len(self)
+        if not n:
             return 0.0
-        return self.num_fixed_link_packets / len(self.records)
+        return self.num_fixed_link_packets / n
+
+    @property
+    def mean_matching_size(self) -> float:
+        """Average per-slot matching size across the simulated horizon."""
+        if self.is_aggregate:
+            return self.aggregates.mean_matching_size if self.aggregates else 0.0
+        if not self.matching_sizes:
+            return 0.0
+        return sum(self.matching_sizes) / len(self.matching_sizes)
 
     def weighted_latencies(self) -> List[float]:
         """Per-packet weighted latencies, in packet-id order."""
+        self._require_records("weighted_latencies()")
         return [self.records[pid].weighted_latency for pid in sorted(self.records)]
 
     def flow_completion_times(self) -> List[float]:
         """Per-packet completion latencies, in packet-id order."""
+        self._require_records("flow_completion_times()")
         return [self.records[pid].flow_completion_time for pid in sorted(self.records)]
 
     def chunk_records(self) -> List[Chunk]:
         """All chunks of all reconfigurable-routed packets."""
+        self._require_records("chunk_records()")
         chunks: List[Chunk] = []
         for rec in self.records.values():
             chunks.extend(rec.chunks)
         return chunks
 
     def summary(self) -> Dict[str, float]:
-        """Compact numeric summary used by the experiment harness."""
+        """Compact numeric summary used by the experiment harness.
+
+        Identical (bit-for-bit) between ``retention="full"`` and
+        ``retention="aggregate"`` runs of the same instance.
+        """
         total = self.total_weighted_latency
-        n = len(self.records)
+        n = len(self)
         return {
             "num_packets": float(n),
             "total_weighted_latency": total,
             "mean_weighted_latency": total / n if n else 0.0,
             "num_slots": float(self.num_slots),
             "fixed_link_fraction": self.fixed_link_fraction,
-            "mean_matching_size": (
-                sum(self.matching_sizes) / len(self.matching_sizes)
-                if self.matching_sizes
-                else 0.0
-            ),
+            "mean_matching_size": self.mean_matching_size,
         }

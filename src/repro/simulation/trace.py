@@ -4,14 +4,32 @@ Traces are primarily a debugging and teaching aid (the quickstart example
 prints one) and are also used by a handful of tests that assert slot-by-slot
 behaviour on the paper's worked examples.  Recording is off by default since
 traces grow linearly with (slots × transmissions).
+
+For long runs the trace need not be held in memory at all: the engine can
+stream slot traces to disk as JSON Lines (one slot per line) through
+:class:`SlotTraceWriter` (``EngineConfig.trace_path``), and
+:func:`iter_slot_traces` reads such a file back lazily.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, IO, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["DispatchEvent", "TransmissionEvent", "SlotTrace", "SimulationTrace"]
+from repro.exceptions import SimulationError
+from repro.utils.jsonl import iter_json_lines
+
+__all__ = [
+    "DispatchEvent",
+    "TransmissionEvent",
+    "SlotTrace",
+    "SimulationTrace",
+    "SlotTraceWriter",
+    "iter_slot_traces",
+    "read_simulation_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +67,61 @@ class SlotTrace:
     def matching_size(self) -> int:
         """Number of edges active during the slot."""
         return len(self.matching)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The slot trace as a JSON-serialisable dictionary."""
+        return {
+            "slot": self.slot,
+            "arrivals": list(self.arrivals),
+            "dispatches": [
+                {
+                    "packet_id": ev.packet_id,
+                    "used_fixed_link": ev.used_fixed_link,
+                    "edge": list(ev.edge) if ev.edge is not None else None,
+                    "impact": ev.impact,
+                }
+                for ev in self.dispatches
+            ],
+            "matching": [list(edge) for edge in self.matching],
+            "transmissions": [
+                {
+                    "packet_id": ev.packet_id,
+                    "chunk_index": ev.chunk_index,
+                    "edge": list(ev.edge),
+                    "amount": ev.amount,
+                    "completed": ev.completed,
+                }
+                for ev in self.transmissions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SlotTrace":
+        """Rebuild a slot trace previously produced by :meth:`to_dict`."""
+        return cls(
+            slot=int(data["slot"]),
+            arrivals=[int(pid) for pid in data.get("arrivals", [])],
+            dispatches=[
+                DispatchEvent(
+                    packet_id=int(ev["packet_id"]),
+                    used_fixed_link=bool(ev["used_fixed_link"]),
+                    edge=tuple(ev["edge"]) if ev["edge"] is not None else None,
+                    impact=float(ev["impact"]),
+                )
+                for ev in data.get("dispatches", [])
+            ],
+            matching=[tuple(edge) for edge in data.get("matching", [])],
+            transmissions=[
+                TransmissionEvent(
+                    packet_id=int(ev["packet_id"]),
+                    chunk_index=int(ev["chunk_index"]),
+                    edge=tuple(ev["edge"]),
+                    amount=float(ev["amount"]),
+                    completed=bool(ev["completed"]),
+                )
+                for ev in data.get("transmissions", [])
+            ],
+        )
 
 
 @dataclass
@@ -90,3 +163,51 @@ class SimulationTrace:
                     f"  transmit p{ev.packet_id}#{ev.chunk_index} on {ev.edge} ({status})"
                 )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# streaming JSONL trace IO
+# ---------------------------------------------------------------------- #
+class SlotTraceWriter:
+    """Append-per-slot JSONL writer for simulation traces.
+
+    The engine hands each finished :class:`SlotTrace` to :meth:`write` and
+    discards it, so the trace of an arbitrarily long run costs O(1) memory.
+    Usable as a context manager; the engine closes it when the run ends.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = self.path.open("w")
+        self.slots_written = 0
+
+    def write(self, slot_trace: SlotTrace) -> None:
+        """Append one slot trace as a JSON line."""
+        if self._handle is None:
+            raise ValueError(f"trace writer for {self.path} is already closed")
+        json.dump(slot_trace.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.slots_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SlotTraceWriter":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def iter_slot_traces(path: Union[str, Path]) -> Iterator[SlotTrace]:
+    """Lazily read a JSONL slot-trace file written by :class:`SlotTraceWriter`."""
+    for _line_number, data in iter_json_lines(path, SimulationError):
+        yield SlotTrace.from_dict(data)
+
+
+def read_simulation_trace(path: Union[str, Path]) -> SimulationTrace:
+    """Materialise a streamed JSONL trace file as a :class:`SimulationTrace`."""
+    return SimulationTrace(slots=list(iter_slot_traces(path)))

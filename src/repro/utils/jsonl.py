@@ -1,0 +1,37 @@
+"""Shared JSON Lines parsing helper.
+
+All JSONL readers in the package (experiment rows, packet traces, slot
+traces) parse files the same way: skip blank lines, ``json.loads`` each
+remaining line, and wrap parse failures in the caller's domain exception
+with the file/line position attached.  Centralised here so the three
+readers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Tuple, Type, Union
+
+__all__ = ["iter_json_lines"]
+
+
+def iter_json_lines(
+    path: Union[str, Path], error_cls: Type[Exception]
+) -> Iterator[Tuple[int, Any]]:
+    """Lazily yield ``(line_number, parsed_object)`` per non-blank JSONL line.
+
+    Malformed lines raise ``error_cls`` with the path and line number.
+    """
+    path = Path(path)
+    with path.open("r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise error_cls(
+                    f"invalid JSONL row at {path}:{line_number}: {exc}"
+                ) from exc
+            yield line_number, parsed

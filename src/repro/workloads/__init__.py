@@ -1,10 +1,21 @@
-"""Online packet workloads: synthetic generators, traces and the paper's examples."""
+"""Online packet workloads: synthetic generators, traces and the paper's examples.
+
+Every generator exists in two forms: a lazy ``iter_*`` generator yielding
+packets in arrival order (the streaming data path; O(1) memory in the packet
+count) and the original list-returning function, a thin materialising
+wrapper over the iterator.
+"""
 
 from repro.workloads.arrival import (
     batch_arrivals,
     deterministic_arrivals,
+    iter_batch_arrivals,
+    iter_deterministic_arrivals,
+    iter_onoff_arrivals,
+    iter_poisson_arrivals,
     onoff_arrivals,
     poisson_arrivals,
+    resolve_arrival_stream,
 )
 from repro.workloads.base import (
     Instance,
@@ -12,8 +23,14 @@ from repro.workloads.base import (
     build_packets,
     normalize_arrival,
     routable_pairs,
+    stream_packets,
 )
-from repro.workloads.bursty import bursty_workload, incast_workload
+from repro.workloads.bursty import (
+    bursty_workload,
+    incast_workload,
+    iter_bursty_workload,
+    iter_incast_workload,
+)
 from repro.workloads.paper_figures import (
     figure1_instance,
     figure1_packets,
@@ -22,19 +39,36 @@ from repro.workloads.paper_figures import (
     figure2_packets_pi,
     figure2_packets_pi_prime,
     figure2_reported_impacts,
+    iter_figure1_packets,
+    iter_figure2_packets_pi,
+    iter_figure2_packets_pi_prime,
 )
 from repro.workloads.skewed import (
     elephant_mice_workload,
+    iter_elephant_mice_workload,
+    iter_zipf_workload,
     zipf_pair_probabilities,
     zipf_workload,
 )
 from repro.workloads.synthetic import (
     all_to_all_workload,
     hotspot_workload,
+    iter_all_to_all_workload,
+    iter_hotspot_workload,
+    iter_permutation_workload,
+    iter_uniform_random_workload,
     permutation_workload,
     uniform_random_workload,
 )
-from repro.workloads.trace_io import read_packet_trace, write_packet_trace
+from repro.workloads.trace_io import (
+    iter_packet_trace,
+    iter_packet_trace_chunks,
+    iter_packet_trace_jsonl,
+    read_packet_trace,
+    read_packet_trace_jsonl,
+    write_packet_trace,
+    write_packet_trace_jsonl,
+)
 from repro.workloads.weights import (
     bimodal_weights,
     constant_weights,
@@ -46,27 +80,46 @@ __all__ = [
     "Instance",
     "PacketSpec",
     "build_packets",
+    "stream_packets",
     "normalize_arrival",
     "routable_pairs",
     "poisson_arrivals",
     "deterministic_arrivals",
     "batch_arrivals",
     "onoff_arrivals",
+    "iter_poisson_arrivals",
+    "iter_deterministic_arrivals",
+    "iter_batch_arrivals",
+    "iter_onoff_arrivals",
+    "resolve_arrival_stream",
     "uniform_random_workload",
     "permutation_workload",
     "all_to_all_workload",
     "hotspot_workload",
+    "iter_uniform_random_workload",
+    "iter_permutation_workload",
+    "iter_all_to_all_workload",
+    "iter_hotspot_workload",
     "zipf_workload",
     "zipf_pair_probabilities",
     "elephant_mice_workload",
+    "iter_zipf_workload",
+    "iter_elephant_mice_workload",
     "bursty_workload",
     "incast_workload",
+    "iter_bursty_workload",
+    "iter_incast_workload",
     "constant_weights",
     "uniform_weights",
     "pareto_weights",
     "bimodal_weights",
     "read_packet_trace",
     "write_packet_trace",
+    "iter_packet_trace",
+    "write_packet_trace_jsonl",
+    "read_packet_trace_jsonl",
+    "iter_packet_trace_jsonl",
+    "iter_packet_trace_chunks",
     "figure1_packets",
     "figure1_instance",
     "figure1_reported_costs",
@@ -74,4 +127,7 @@ __all__ = [
     "figure2_packets_pi_prime",
     "figure2_instances",
     "figure2_reported_impacts",
+    "iter_figure1_packets",
+    "iter_figure2_packets_pi",
+    "iter_figure2_packets_pi_prime",
 ]

@@ -1,13 +1,17 @@
 """Arrival-process generators.
 
-All generators return a non-decreasing list of *slot* times (positive
-integers) of the requested length; they are combined with a spatial pattern
-(which pair each packet belongs to) by the workload generators.
+All processes exist in two forms sharing one implementation: an ``iter_*``
+generator that lazily yields an unbounded non-decreasing stream of *slot*
+times (positive integers), and the original list-returning function, which is
+a thin materialising wrapper taking the first ``num_packets`` elements.  The
+lazy form is what the streaming workload generators compose with; for a fixed
+seed both forms produce bit-identical slot sequences.
 """
 
 from __future__ import annotations
 
-from typing import List
+from itertools import islice
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,43 +25,145 @@ __all__ = [
     "deterministic_arrivals",
     "batch_arrivals",
     "onoff_arrivals",
+    "iter_poisson_arrivals",
+    "iter_deterministic_arrivals",
+    "iter_batch_arrivals",
+    "iter_onoff_arrivals",
+    "resolve_arrival_stream",
 ]
 
 
-def poisson_arrivals(num_packets: int, rate: float, seed: RngLike = None, start: float = 1.0) -> List[int]:
-    """Poisson arrivals with ``rate`` packets per slot, starting at ``start``.
+def iter_poisson_arrivals(rate: float, seed: RngLike = None, start: float = 1.0) -> Iterator[int]:
+    """Unbounded Poisson arrival stream with ``rate`` packets per slot.
 
     Inter-arrival gaps are exponential with mean ``1/rate``; the resulting
-    continuous times are ceiled to slots per the paper's model.
+    continuous times are ceiled to slots per the paper's model.  The first
+    arrival lands exactly at ``start``.
     """
-    n = check_positive_int(num_packets, "num_packets")
     lam = check_positive(rate, "rate")
     rng = as_rng(seed)
-    gaps = rng.exponential(1.0 / lam, size=n)
-    times = float(start) + np.cumsum(gaps) - gaps[0]
-    return [normalize_arrival(t) for t in times]
+
+    def generate() -> Iterator[int]:
+        first_gap = None
+        cumulative = 0.0
+        while True:
+            gap = rng.exponential(1.0 / lam)
+            if first_gap is None:
+                first_gap = gap
+            cumulative += gap
+            yield normalize_arrival(float(start) + cumulative - first_gap)
+
+    return generate()
 
 
-def deterministic_arrivals(num_packets: int, interval: float = 1.0, start: int = 1) -> List[int]:
-    """Evenly spaced arrivals: packet ``i`` arrives at ``start + i · interval`` (ceiled)."""
+def poisson_arrivals(num_packets: int, rate: float, seed: RngLike = None, start: float = 1.0) -> List[int]:
+    """The first ``num_packets`` slots of :func:`iter_poisson_arrivals`."""
     n = check_positive_int(num_packets, "num_packets")
+    return list(islice(iter_poisson_arrivals(rate, seed=seed, start=start), n))
+
+
+def iter_deterministic_arrivals(interval: float = 1.0, start: int = 1) -> Iterator[int]:
+    """Unbounded evenly spaced arrivals: packet ``i`` at ``start + i · interval`` (ceiled)."""
     step = check_positive(interval, "interval")
     if start < 1:
         raise WorkloadError(f"start slot must be >= 1, got {start}")
-    return [normalize_arrival(start + i * step) for i in range(n)]
+
+    def generate() -> Iterator[int]:
+        i = 0
+        while True:
+            yield normalize_arrival(start + i * step)
+            i += 1
+
+    return generate()
+
+
+def deterministic_arrivals(num_packets: int, interval: float = 1.0, start: int = 1) -> List[int]:
+    """The first ``num_packets`` slots of :func:`iter_deterministic_arrivals`."""
+    n = check_positive_int(num_packets, "num_packets")
+    return list(islice(iter_deterministic_arrivals(interval=interval, start=start), n))
+
+
+def iter_batch_arrivals(batch_size: int, gap: int = 1, start: int = 1) -> Iterator[int]:
+    """Unbounded bursts of ``batch_size`` simultaneous arrivals, ``gap`` slots apart."""
+    bs = check_positive_int(batch_size, "batch_size")
+    g = check_positive_int(gap, "gap")
+    if start < 1:
+        raise WorkloadError(f"start slot must be >= 1, got {start}")
+
+    def generate() -> Iterator[int]:
+        batch = 0
+        while True:
+            slot = start + batch * g
+            for _ in range(bs):
+                yield slot
+            batch += 1
+
+    return generate()
 
 
 def batch_arrivals(num_batches: int, batch_size: int, gap: int = 1, start: int = 1) -> List[int]:
     """``num_batches`` bursts of ``batch_size`` simultaneous arrivals, ``gap`` slots apart."""
     nb = check_positive_int(num_batches, "num_batches")
     bs = check_positive_int(batch_size, "batch_size")
-    g = check_positive_int(gap, "gap")
+    return list(islice(iter_batch_arrivals(bs, gap=gap, start=start), nb * bs))
+
+
+def iter_onoff_arrivals(
+    on_rate: float = 2.0,
+    on_duration: int = 5,
+    off_duration: int = 10,
+    seed: RngLike = None,
+    start: int = 1,
+) -> Iterator[int]:
+    """Unbounded bursty on/off arrivals: Poisson bursts separated by silences.
+
+    During an *on* period of ``on_duration`` slots packets arrive at
+    ``on_rate`` per slot; each on period is followed by an *off* period of
+    ``off_duration`` slots with no arrivals.  This is the microburst pattern
+    datacenter measurement studies report.
+    """
+    rate = check_positive(on_rate, "on_rate")
+    on = check_positive_int(on_duration, "on_duration")
+    off = check_positive_int(off_duration, "off_duration")
     if start < 1:
         raise WorkloadError(f"start slot must be >= 1, got {start}")
-    arrivals: List[int] = []
-    for b in range(nb):
-        arrivals.extend([start + b * g] * bs)
-    return arrivals
+    rng = as_rng(seed)
+
+    def generate() -> Iterator[int]:
+        period_start = float(start)
+        while True:
+            t = period_start
+            while True:
+                t += float(rng.exponential(1.0 / rate))
+                if t >= period_start + on:
+                    break
+                yield normalize_arrival(t)
+            period_start += on + off
+
+    return generate()
+
+
+def resolve_arrival_stream(
+    num_packets: int,
+    arrivals: Optional[Sequence[int]],
+    arrival_rate: Optional[float],
+    rng: np.random.Generator,
+) -> Iterator[int]:
+    """The arrival-slot stream shared by the per-packet workload generators.
+
+    Explicit ``arrivals`` win (validated against ``num_packets``); otherwise
+    ``arrival_rate`` selects a lazy Poisson process drawing from ``rng``, and
+    the default is one packet per slot.
+    """
+    if arrivals is not None:
+        if len(arrivals) != num_packets:
+            raise WorkloadError(
+                f"got {len(arrivals)} arrival times for {num_packets} packets"
+            )
+        return iter([int(a) for a in arrivals])
+    if arrival_rate is not None:
+        return iter_poisson_arrivals(arrival_rate, seed=rng)
+    return iter_deterministic_arrivals(interval=1.0)
 
 
 def onoff_arrivals(
@@ -68,27 +174,17 @@ def onoff_arrivals(
     seed: RngLike = None,
     start: int = 1,
 ) -> List[int]:
-    """Bursty on/off arrivals: Poisson bursts separated by silent periods.
-
-    During an *on* period of ``on_duration`` slots packets arrive at
-    ``on_rate`` per slot; each on period is followed by an *off* period of
-    ``off_duration`` slots with no arrivals.  This is the microburst pattern
-    datacenter measurement studies report.
-    """
+    """The first ``num_packets`` slots of :func:`iter_onoff_arrivals`."""
     n = check_positive_int(num_packets, "num_packets")
-    rate = check_positive(on_rate, "on_rate")
-    on = check_positive_int(on_duration, "on_duration")
-    off = check_positive_int(off_duration, "off_duration")
-    rng = as_rng(seed)
-
-    arrivals: List[int] = []
-    period_start = float(start)
-    while len(arrivals) < n:
-        t = period_start
-        while t < period_start + on and len(arrivals) < n:
-            t += float(rng.exponential(1.0 / rate))
-            if t < period_start + on:
-                arrivals.append(normalize_arrival(t))
-        period_start += on + off
-    arrivals.sort()
-    return arrivals[:n]
+    return list(
+        islice(
+            iter_onoff_arrivals(
+                on_rate=on_rate,
+                on_duration=on_duration,
+                off_duration=off_duration,
+                seed=seed,
+                start=start,
+            ),
+            n,
+        )
+    )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.packet import Packet
 from repro.exceptions import WorkloadError
@@ -22,6 +22,7 @@ __all__ = [
     "PacketSpec",
     "routable_pairs",
     "build_packets",
+    "stream_packets",
     "normalize_arrival",
 ]
 
@@ -72,6 +73,32 @@ def build_packets(specs: Sequence[PacketSpec]) -> List[Packet]:
     return [spec.to_packet(packet_id=i) for i, (_pos, spec) in enumerate(indexed)]
 
 
+def stream_packets(specs: Iterable[PacketSpec], start_id: int = 0) -> Iterator[Packet]:
+    """Lazily assign sequential ids to an arrival-ordered stream of specs.
+
+    The streaming counterpart of :func:`build_packets`: ``specs`` is consumed
+    one element at a time and each spec becomes a packet with the next id, so
+    memory is O(1) in the stream length.  Because no global sort is possible
+    on a stream, the specs' *normalised* arrival slots must already be
+    non-decreasing (every generator and arrival process in this package
+    produces them that way); a regression raises
+    :class:`~repro.exceptions.WorkloadError`.  For such inputs the yielded
+    sequence is identical to ``build_packets(list(specs))``.
+    """
+    packet_id = start_id
+    last_slot = 0
+    for spec in specs:
+        packet = spec.to_packet(packet_id=packet_id)
+        if packet.arrival < last_slot:
+            raise WorkloadError(
+                f"stream_packets requires non-decreasing arrivals; spec {packet_id} "
+                f"arrives at slot {packet.arrival} after slot {last_slot}"
+            )
+        last_slot = packet.arrival
+        packet_id += 1
+        yield packet
+
+
 def routable_pairs(topology: TwoTierTopology) -> List[Tuple[str, str]]:
     """All (source, destination) pairs that can carry traffic on ``topology``.
 
@@ -119,6 +146,10 @@ class Instance:
     def num_packets(self) -> int:
         """Number of packets in the instance."""
         return len(self.packets)
+
+    def iter_packets(self) -> Iterator[Packet]:
+        """The packet sequence as an iterator (for the engine's streaming path)."""
+        return iter(self.packets)
 
     @property
     def total_weight(self) -> float:

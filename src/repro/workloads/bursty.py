@@ -3,23 +3,59 @@
 Microbursts — many packets arriving to the same destination within a few
 slots — are the pattern under which scheduling decisions matter most, because
 receivers become the bottleneck and the choice of which transmitter serves
-which receiver each slot determines tail latency.
+which receiver each slot determines tail latency.  Both generators exist as
+lazy ``iter_*`` forms (O(1) memory in the packet count) plus thin
+materialising list wrappers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from itertools import islice
+from typing import Iterator, List, Optional
 
 from repro.core.packet import Packet
 from repro.exceptions import WorkloadError
 from repro.network.topology import TwoTierTopology
 from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import check_positive_int
-from repro.workloads.arrival import onoff_arrivals
-from repro.workloads.base import PacketSpec, build_packets, routable_pairs
+from repro.workloads.arrival import iter_onoff_arrivals
+from repro.workloads.base import PacketSpec, routable_pairs, stream_packets
 from repro.workloads.weights import WeightSampler, constant_weights
 
-__all__ = ["bursty_workload", "incast_workload"]
+__all__ = [
+    "bursty_workload",
+    "incast_workload",
+    "iter_bursty_workload",
+    "iter_incast_workload",
+]
+
+
+def iter_bursty_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    on_rate: float = 3.0,
+    on_duration: int = 5,
+    off_duration: int = 10,
+    weight_sampler: Optional[WeightSampler] = None,
+    seed: RngLike = None,
+) -> Iterator[Packet]:
+    """Lazily yield on/off bursts of packets over uniformly random routable pairs."""
+    n = check_positive_int(num_packets, "num_packets")
+    rng = as_rng(seed)
+    sampler = weight_sampler or constant_weights(1.0)
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+    slots = iter_onoff_arrivals(
+        on_rate=on_rate, on_duration=on_duration, off_duration=off_duration, seed=rng
+    )
+
+    def specs() -> Iterator[PacketSpec]:
+        for arrival in islice(slots, n):
+            s, d = pairs[int(rng.integers(len(pairs)))]
+            yield PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=arrival)
+
+    return stream_packets(specs())
 
 
 def bursty_workload(
@@ -31,24 +67,21 @@ def bursty_workload(
     weight_sampler: Optional[WeightSampler] = None,
     seed: RngLike = None,
 ) -> List[Packet]:
-    """On/off bursts of packets over uniformly random routable pairs."""
-    n = check_positive_int(num_packets, "num_packets")
-    rng = as_rng(seed)
-    sampler = weight_sampler or constant_weights(1.0)
-    pairs = routable_pairs(topology)
-    if not pairs:
-        raise WorkloadError("topology has no routable pairs")
-    slots = onoff_arrivals(
-        n, on_rate=on_rate, on_duration=on_duration, off_duration=off_duration, seed=rng
+    """Materialised form of :func:`iter_bursty_workload`."""
+    return list(
+        iter_bursty_workload(
+            topology,
+            num_packets,
+            on_rate=on_rate,
+            on_duration=on_duration,
+            off_duration=off_duration,
+            weight_sampler=weight_sampler,
+            seed=seed,
+        )
     )
-    specs = []
-    for i in range(n):
-        s, d = pairs[int(rng.integers(len(pairs)))]
-        specs.append(PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=slots[i]))
-    return build_packets(specs)
 
 
-def incast_workload(
+def iter_incast_workload(
     topology: TwoTierTopology,
     num_senders: int,
     packets_per_sender: int = 1,
@@ -56,8 +89,8 @@ def incast_workload(
     weight_sampler: Optional[WeightSampler] = None,
     arrival_slot: int = 1,
     seed: RngLike = None,
-) -> List[Packet]:
-    """Incast: many sources send to a single destination simultaneously.
+) -> Iterator[Packet]:
+    """Lazily yield an incast: many sources send to one destination simultaneously.
 
     Parameters
     ----------
@@ -96,12 +129,34 @@ def incast_workload(
     rng.shuffle(senders)
     senders = senders[: min(ns, len(senders))]
 
-    specs = []
-    for s in senders:
-        for _ in range(k):
-            specs.append(
-                PacketSpec(
+    def specs() -> Iterator[PacketSpec]:
+        for s in senders:
+            for _ in range(k):
+                yield PacketSpec(
                     source=s, destination=destination, weight=sampler(rng), arrival=arrival_slot
                 )
-            )
-    return build_packets(specs)
+
+    return stream_packets(specs())
+
+
+def incast_workload(
+    topology: TwoTierTopology,
+    num_senders: int,
+    packets_per_sender: int = 1,
+    destination: Optional[str] = None,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_slot: int = 1,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Materialised form of :func:`iter_incast_workload`."""
+    return list(
+        iter_incast_workload(
+            topology,
+            num_senders,
+            packets_per_sender=packets_per_sender,
+            destination=destination,
+            weight_sampler=weight_sampler,
+            arrival_slot=arrival_slot,
+            seed=seed,
+        )
+    )

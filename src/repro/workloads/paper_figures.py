@@ -16,7 +16,7 @@ scheme:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 from repro.core.packet import Packet
 from repro.network.builders import figure1_topology, figure2_topology
@@ -30,6 +30,9 @@ __all__ = [
     "figure2_packets_pi_prime",
     "figure2_instances",
     "figure2_reported_impacts",
+    "iter_figure1_packets",
+    "iter_figure2_packets_pi",
+    "iter_figure2_packets_pi_prime",
 ]
 
 
@@ -42,6 +45,11 @@ def figure1_packets() -> List[Packet]:
         Packet(packet_id=3, source="s2", destination="d2", weight=1.0, arrival=2),  # p4
         Packet(packet_id=4, source="s2", destination="d3", weight=1.0, arrival=2),  # p5
     ]
+
+
+def iter_figure1_packets() -> Iterator[Packet]:
+    """The Figure 1 packets as a lazy stream (for the engine's streaming path)."""
+    yield from figure1_packets()
 
 
 def figure1_instance() -> Instance:
@@ -73,6 +81,16 @@ def figure2_packets_pi_prime() -> List[Packet]:
     return figure2_packets_pi() + [
         Packet(packet_id=3, source="s2", destination="d3", weight=4.0, arrival=1),  # p4
     ]
+
+
+def iter_figure2_packets_pi() -> Iterator[Packet]:
+    """The Figure 2 packet set Π as a lazy stream."""
+    yield from figure2_packets_pi()
+
+
+def iter_figure2_packets_pi_prime() -> Iterator[Packet]:
+    """The Figure 2 packet set Π′ as a lazy stream."""
+    yield from figure2_packets_pi_prime()
 
 
 def figure2_instances() -> Dict[str, Instance]:

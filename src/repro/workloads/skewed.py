@@ -3,12 +3,15 @@
 Datacenter traffic is highly skewed: a small number of rack pairs carry most
 of the bytes (the elephant flows the paper's introduction motivates routing
 over opportunistic links).  The generators here produce Zipf-distributed pair
-popularity and explicit elephant/mice mixtures.
+popularity and explicit elephant/mice mixtures; like the rest of the package
+each exists as a lazy ``iter_*`` generator (O(1) memory in the packet count)
+plus a thin materialising list wrapper.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -17,11 +20,17 @@ from repro.exceptions import WorkloadError
 from repro.network.topology import TwoTierTopology
 from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import check_positive, check_positive_int
-from repro.workloads.arrival import deterministic_arrivals, poisson_arrivals
-from repro.workloads.base import PacketSpec, build_packets, routable_pairs
-from repro.workloads.weights import WeightSampler, bimodal_weights, constant_weights
+from repro.workloads.arrival import resolve_arrival_stream
+from repro.workloads.base import PacketSpec, routable_pairs, stream_packets
+from repro.workloads.weights import WeightSampler, constant_weights
 
-__all__ = ["zipf_workload", "elephant_mice_workload", "zipf_pair_probabilities"]
+__all__ = [
+    "zipf_workload",
+    "elephant_mice_workload",
+    "zipf_pair_probabilities",
+    "iter_zipf_workload",
+    "iter_elephant_mice_workload",
+]
 
 
 def zipf_pair_probabilities(num_pairs: int, exponent: float) -> np.ndarray:
@@ -33,15 +42,15 @@ def zipf_pair_probabilities(num_pairs: int, exponent: float) -> np.ndarray:
     return weights / weights.sum()
 
 
-def zipf_workload(
+def iter_zipf_workload(
     topology: TwoTierTopology,
     num_packets: int,
     exponent: float = 1.2,
     weight_sampler: Optional[WeightSampler] = None,
     arrival_rate: Optional[float] = None,
     seed: RngLike = None,
-) -> List[Packet]:
-    """Packets whose (source, destination) pair follows a Zipf popularity law.
+) -> Iterator[Packet]:
+    """Lazily yield packets whose (source, destination) pair follows a Zipf law.
 
     Pairs are ranked in a random order and pair ``k`` receives probability
     proportional to ``1/k^exponent``; larger exponents concentrate traffic on
@@ -57,21 +66,42 @@ def zipf_workload(
     rng.shuffle(order)
     ranked_pairs = [pairs[i] for i in order]
     probs = zipf_pair_probabilities(len(ranked_pairs), exponent)
+    # Per-packet rank draws share one inverse-CDF lookup table.
+    cdf = np.cumsum(probs)
+    cdf[-1] = 1.0
+    slots = resolve_arrival_stream(n, None, arrival_rate, rng)
 
-    if arrival_rate is not None:
-        slots = poisson_arrivals(n, arrival_rate, seed=rng)
-    else:
-        slots = deterministic_arrivals(n, interval=1.0)
+    def specs() -> Iterator[PacketSpec]:
+        for arrival in islice(slots, n):
+            rank = int(np.searchsorted(cdf, rng.random(), side="right"))
+            s, d = ranked_pairs[min(rank, len(ranked_pairs) - 1)]
+            yield PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=arrival)
 
-    choices = rng.choice(len(ranked_pairs), size=n, p=probs)
-    specs = []
-    for i in range(n):
-        s, d = ranked_pairs[int(choices[i])]
-        specs.append(PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=slots[i]))
-    return build_packets(specs)
+    return stream_packets(specs())
 
 
-def elephant_mice_workload(
+def zipf_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    exponent: float = 1.2,
+    weight_sampler: Optional[WeightSampler] = None,
+    arrival_rate: Optional[float] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Materialised form of :func:`iter_zipf_workload`."""
+    return list(
+        iter_zipf_workload(
+            topology,
+            num_packets,
+            exponent=exponent,
+            weight_sampler=weight_sampler,
+            arrival_rate=arrival_rate,
+            seed=seed,
+        )
+    )
+
+
+def iter_elephant_mice_workload(
     topology: TwoTierTopology,
     num_packets: int,
     elephant_pair_fraction: float = 0.1,
@@ -80,8 +110,8 @@ def elephant_mice_workload(
     light_weight: float = 1.0,
     arrival_rate: Optional[float] = None,
     seed: RngLike = None,
-) -> List[Packet]:
-    """Explicit elephant/mice mixture.
+) -> Iterator[Packet]:
+    """Lazily yield an explicit elephant/mice mixture.
 
     A fraction ``elephant_pair_fraction`` of the routable pairs is designated
     *elephant* pairs; they receive ``elephant_traffic_fraction`` of the
@@ -106,19 +136,41 @@ def elephant_mice_workload(
     num_elephant = max(1, int(round(elephant_pair_fraction * len(pairs))))
     elephant_pairs = [pairs[i] for i in order[:num_elephant]]
     mice_pairs = [pairs[i] for i in order[num_elephant:]] or elephant_pairs
+    slots = resolve_arrival_stream(n, None, arrival_rate, rng)
 
-    if arrival_rate is not None:
-        slots = poisson_arrivals(n, arrival_rate, seed=rng)
-    else:
-        slots = deterministic_arrivals(n, interval=1.0)
+    def specs() -> Iterator[PacketSpec]:
+        for arrival in islice(slots, n):
+            if rng.random() < elephant_traffic_fraction:
+                s, d = elephant_pairs[int(rng.integers(len(elephant_pairs)))]
+                weight = float(heavy_weight)
+            else:
+                s, d = mice_pairs[int(rng.integers(len(mice_pairs)))]
+                weight = float(light_weight)
+            yield PacketSpec(source=s, destination=d, weight=weight, arrival=arrival)
 
-    specs = []
-    for i in range(n):
-        if rng.random() < elephant_traffic_fraction:
-            s, d = elephant_pairs[int(rng.integers(len(elephant_pairs)))]
-            weight = float(heavy_weight)
-        else:
-            s, d = mice_pairs[int(rng.integers(len(mice_pairs)))]
-            weight = float(light_weight)
-        specs.append(PacketSpec(source=s, destination=d, weight=weight, arrival=slots[i]))
-    return build_packets(specs)
+    return stream_packets(specs())
+
+
+def elephant_mice_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    elephant_pair_fraction: float = 0.1,
+    elephant_traffic_fraction: float = 0.8,
+    heavy_weight: float = 20.0,
+    light_weight: float = 1.0,
+    arrival_rate: Optional[float] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Materialised form of :func:`iter_elephant_mice_workload`."""
+    return list(
+        iter_elephant_mice_workload(
+            topology,
+            num_packets,
+            elephant_pair_fraction=elephant_pair_fraction,
+            elephant_traffic_fraction=elephant_traffic_fraction,
+            heavy_weight=heavy_weight,
+            light_weight=light_weight,
+            arrival_rate=arrival_rate,
+            seed=seed,
+        )
+    )

@@ -1,21 +1,44 @@
-"""Reading and writing packet traces as CSV files.
+"""Reading and writing packet traces.
 
-The trace format is a plain CSV with header
-``packet_id,source,destination,weight,arrival`` — small enough to inspect by
-hand, and sufficient to replay any workload deterministically (packet ids
-encode the dispatch order).
+Two on-disk formats are supported:
+
+* **CSV** — header ``packet_id,source,destination,weight,arrival``; small
+  enough to inspect by hand, and sufficient to replay any workload
+  deterministically (packet ids encode the dispatch order).
+* **JSON Lines** (``*.jsonl``) — one JSON object per packet, written
+  append-per-packet from any iterable (including a lazy generator) and read
+  back lazily in chunks, so million-packet traces never need to be resident
+  in memory on either side.
+
+Both formats offer a materialising reader (full validation, arbitrary row
+order) and a lazy ``iter_*`` reader.  The lazy readers keep O(1) state and
+therefore enforce the canonical streaming order instead of the global
+duplicate-id scan: packet ids must be strictly increasing and arrivals
+non-decreasing — exactly what :func:`write_packet_trace` /
+:func:`write_packet_trace_jsonl` emit.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import Iterable, Iterator, List, Sequence, Union
 
 from repro.core.packet import Packet
 from repro.exceptions import WorkloadError
+from repro.utils.jsonl import iter_json_lines
 
-__all__ = ["write_packet_trace", "read_packet_trace", "TRACE_FIELDS"]
+__all__ = [
+    "write_packet_trace",
+    "read_packet_trace",
+    "iter_packet_trace",
+    "write_packet_trace_jsonl",
+    "read_packet_trace_jsonl",
+    "iter_packet_trace_jsonl",
+    "iter_packet_trace_chunks",
+    "TRACE_FIELDS",
+]
 
 TRACE_FIELDS = ("packet_id", "source", "destination", "weight", "arrival")
 
@@ -31,6 +54,19 @@ def write_packet_trace(packets: Sequence[Packet], path: Union[str, Path]) -> Pat
     return path
 
 
+def _packet_from_row(row: dict, path: Path, line_number: int) -> Packet:
+    try:
+        return Packet(
+            packet_id=int(row["packet_id"]),
+            source=row["source"],
+            destination=row["destination"],
+            weight=float(row["weight"]),
+            arrival=int(row["arrival"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"invalid trace row at {path}:{line_number}: {exc}") from exc
+
+
 def read_packet_trace(path: Union[str, Path]) -> List[Packet]:
     """Read a CSV packet trace previously written by :func:`write_packet_trace`."""
     path = Path(path)
@@ -42,18 +78,120 @@ def read_packet_trace(path: Union[str, Path]) -> List[Packet]:
                 f"trace {path} has header {reader.fieldnames!r}; expected {TRACE_FIELDS!r}"
             )
         for line_number, row in enumerate(reader, start=2):
-            try:
-                packets.append(
-                    Packet(
-                        packet_id=int(row["packet_id"]),
-                        source=row["source"],
-                        destination=row["destination"],
-                        weight=float(row["weight"]),
-                        arrival=int(row["arrival"]),
-                    )
-                )
-            except (KeyError, TypeError, ValueError) as exc:
-                raise WorkloadError(f"invalid trace row at {path}:{line_number}: {exc}") from exc
+            packets.append(_packet_from_row(row, path, line_number))
+    ids = [p.packet_id for p in packets]
+    if len(set(ids)) != len(ids):
+        raise WorkloadError(f"trace {path} contains duplicate packet ids")
+    return packets
+
+
+def _check_stream_order(packet: Packet, last_id: int, last_arrival: int, path: Path, line: int) -> None:
+    if packet.packet_id <= last_id:
+        raise WorkloadError(
+            f"trace {path}:{line}: packet ids must be strictly increasing for "
+            f"streamed reading (got {packet.packet_id} after {last_id}); use the "
+            "materialising reader for unordered traces"
+        )
+    if packet.arrival < last_arrival:
+        raise WorkloadError(
+            f"trace {path}:{line}: arrivals must be non-decreasing for streamed "
+            f"reading (got slot {packet.arrival} after slot {last_arrival})"
+        )
+
+
+def iter_packet_trace(path: Union[str, Path]) -> Iterator[Packet]:
+    """Lazily read a CSV packet trace, one packet at a time.
+
+    The streaming counterpart of :func:`read_packet_trace`: suitable for
+    replaying traces far larger than memory directly into the engine's
+    aggregate-retention path.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != TRACE_FIELDS:
+            raise WorkloadError(
+                f"trace {path} has header {reader.fieldnames!r}; expected {TRACE_FIELDS!r}"
+            )
+        last_id, last_arrival = -1, 0
+        for line_number, row in enumerate(reader, start=2):
+            packet = _packet_from_row(row, path, line_number)
+            _check_stream_order(packet, last_id, last_arrival, path, line_number)
+            last_id, last_arrival = packet.packet_id, packet.arrival
+            yield packet
+
+
+# ---------------------------------------------------------------------- #
+# JSON Lines packet traces
+# ---------------------------------------------------------------------- #
+def write_packet_trace_jsonl(packets: Iterable[Packet], path: Union[str, Path]) -> Path:
+    """Stream ``packets`` to ``path`` as JSON Lines and return the path.
+
+    Unlike the CSV writer this accepts any iterable — including a lazy
+    workload generator — and appends one line per packet without ever
+    materialising the sequence.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for p in packets:
+            json.dump(
+                {
+                    "packet_id": p.packet_id,
+                    "source": p.source,
+                    "destination": p.destination,
+                    "weight": p.weight,
+                    "arrival": p.arrival,
+                },
+                handle,
+                separators=(",", ":"),
+            )
+            handle.write("\n")
+    return path
+
+
+def iter_packet_trace_jsonl(path: Union[str, Path], chunk_size: int = 4096) -> Iterator[Packet]:
+    """Lazily read a JSONL packet trace written by :func:`write_packet_trace_jsonl`.
+
+    Lines are consumed in chunks of ``chunk_size`` to amortise IO; only one
+    chunk of packets is resident at a time.
+    """
+    for chunk in iter_packet_trace_chunks(path, chunk_size=chunk_size):
+        yield from chunk
+
+
+def iter_packet_trace_chunks(
+    path: Union[str, Path], chunk_size: int = 4096
+) -> Iterator[List[Packet]]:
+    """Read a JSONL packet trace as successive lists of ``chunk_size`` packets."""
+    if chunk_size < 1:
+        raise WorkloadError(f"chunk_size must be >= 1, got {chunk_size}")
+    path = Path(path)
+    last_id, last_arrival = -1, 0
+    chunk: List[Packet] = []
+    for line_number, row in iter_json_lines(path, WorkloadError):
+        packet = _packet_from_row(row, path, line_number)
+        _check_stream_order(packet, last_id, last_arrival, path, line_number)
+        last_id, last_arrival = packet.packet_id, packet.arrival
+        chunk.append(packet)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def read_packet_trace_jsonl(path: Union[str, Path]) -> List[Packet]:
+    """Materialise a JSONL packet trace as a list.
+
+    Like :func:`read_packet_trace` this accepts rows in arbitrary order and
+    performs the global duplicate-id check, so hand-edited or
+    externally-produced traces replay fine (the ``iter_*`` readers are the
+    ones that require the canonical streaming order).
+    """
+    path = Path(path)
+    packets: List[Packet] = []
+    for line_number, row in iter_json_lines(path, WorkloadError):
+        packets.append(_packet_from_row(row, path, line_number))
     ids = [p.packet_id for p in packets]
     if len(set(ids)) != len(ids):
         raise WorkloadError(f"trace {path} contains duplicate packet ids")

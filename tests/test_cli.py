@@ -5,9 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
-from repro.experiments import read_json
+from repro.experiments import read_json, read_jsonl
 from repro.network import projector_fabric
-from repro.workloads import uniform_random_workload, write_packet_trace
+from repro.workloads import (
+    uniform_random_workload,
+    write_packet_trace,
+    write_packet_trace_jsonl,
+)
 
 
 class TestParser:
@@ -91,6 +95,43 @@ class TestSimulateCommand:
         )
         assert code == 0
 
+    def test_aggregate_retention_matches_full_total(self, capsys):
+        argv = ["simulate", "--racks", "4", "--packets", "40", "--seed", "5"]
+        assert main(argv) == 0
+        full = capsys.readouterr().out
+        assert main(argv + ["--retention", "aggregate"]) == 0
+        aggregate = capsys.readouterr().out
+
+        def total(out):
+            for line in out.splitlines():
+                if "total weighted latency" in line:
+                    return line.split()[-2]
+            raise AssertionError(f"no total in {out!r}")
+
+        assert total(full) == total(aggregate)
+
+    def test_replay_jsonl_trace_streaming(self, tmp_path, capsys):
+        topo = projector_fabric(num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=7)
+        packets = uniform_random_workload(topo, 12, seed=8)
+        path = write_packet_trace_jsonl(packets, tmp_path / "trace.jsonl")
+        code = main(
+            ["simulate", "--racks", "4", "--seed", "7", "--input", str(path),
+             "--retention", "aggregate"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "12" in out
+
+    def test_trace_jsonl_streams_slots_to_disk(self, tmp_path, capsys):
+        path = tmp_path / "slots.jsonl"
+        code = main(
+            ["simulate", "--racks", "4", "--packets", "10", "--seed", "5",
+             "--trace-jsonl", str(path)]
+        )
+        assert code == 0
+        assert path.exists() and path.stat().st_size > 0
+        assert "wrote slot trace" in capsys.readouterr().out
+
 
 class TestSweepCommand:
     def test_single_sweep_runs(self, capsys):
@@ -122,8 +163,31 @@ class TestSweepCommand:
         assert rows and all(row["experiment"] == "hybrid" for row in rows)
         assert "wrote" in capsys.readouterr().out
 
+    def test_output_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "rows.jsonl"
+        code = main(
+            [
+                "sweep", "--experiment", "tiers", "--racks", "4", "--packets", "30",
+                "--seed", "3", "--retention", "aggregate", "--output", str(path),
+            ]
+        )
+        assert code == 0
+        rows = read_jsonl(path)
+        assert rows and all(row["experiment"] == "tiers" for row in rows)
+
+    def test_retention_does_not_change_rows(self, capsys):
+        argv = ["sweep", "--experiment", "tiers", "--racks", "4", "--packets", "30", "--seed", "3"]
+        assert main(argv) == 0
+        full = capsys.readouterr().out
+        assert main(argv + ["--retention", "aggregate"]) == 0
+        aggregate = capsys.readouterr().out
+        assert full == aggregate
+
     def test_invalid_jobs(self):
         assert main(["sweep", "--experiment", "tiers", "--jobs", "0"]) == 2
+
+    def test_invalid_chunksize(self):
+        assert main(["sweep", "--experiment", "tiers", "--chunksize", "0"]) == 2
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

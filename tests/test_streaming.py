@@ -1,0 +1,407 @@
+"""Tests for the streaming workload → engine → metrics data path.
+
+Covers the three layers of the streaming pipeline:
+
+* every workload generator's lazy ``iter_*`` form yields exactly the packets
+  its materialising wrapper returns (fixed seed ⇒ identical sequences);
+* ``retention="aggregate"`` produces bit-identical summary numbers to
+  ``retention="full"`` on the paper's Figure 1/2 instances (E1/E2) and on
+  generated workloads, while refusing per-packet accessors;
+* packet traces and slot traces stream to/from disk (CSV lazy reader, JSONL
+  writer/chunked reader) without changing the replayed packets.
+
+Plus the satellite regressions: compensated summation vs ``math.fsum`` and
+the pending-chunk pool's incremental counters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.policies import make_fifo_policy
+from repro.core import OpportunisticLinkScheduler
+from repro.core.packet import Packet, split_into_chunks
+from repro.core.queues import PendingChunkPool
+from repro.exceptions import SimulationError, WorkloadError
+from repro.network import projector_fabric
+from repro.simulation import (
+    CompensatedSum,
+    EngineConfig,
+    SimulationEngine,
+    compensated_total,
+    matching_occupancy,
+    read_simulation_trace,
+    simulate,
+)
+from repro.workloads import (
+    PacketSpec,
+    batch_arrivals,
+    bursty_workload,
+    deterministic_arrivals,
+    elephant_mice_workload,
+    figure1_instance,
+    figure1_packets,
+    figure2_instances,
+    figure2_packets_pi,
+    figure2_packets_pi_prime,
+    hotspot_workload,
+    incast_workload,
+    all_to_all_workload,
+    iter_all_to_all_workload,
+    iter_batch_arrivals,
+    iter_bursty_workload,
+    iter_deterministic_arrivals,
+    iter_elephant_mice_workload,
+    iter_figure1_packets,
+    iter_figure2_packets_pi,
+    iter_figure2_packets_pi_prime,
+    iter_hotspot_workload,
+    iter_incast_workload,
+    iter_onoff_arrivals,
+    iter_packet_trace,
+    iter_packet_trace_chunks,
+    iter_packet_trace_jsonl,
+    iter_permutation_workload,
+    iter_poisson_arrivals,
+    iter_uniform_random_workload,
+    iter_zipf_workload,
+    onoff_arrivals,
+    permutation_workload,
+    poisson_arrivals,
+    read_packet_trace_jsonl,
+    stream_packets,
+    uniform_random_workload,
+    uniform_weights,
+    write_packet_trace,
+    write_packet_trace_jsonl,
+    zipf_workload,
+)
+
+from itertools import islice
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return projector_fabric(num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=3)
+
+
+# ---------------------------------------------------------------------- #
+# lazy generators match their materialising wrappers
+# ---------------------------------------------------------------------- #
+class TestGeneratorDeterminism:
+    """iter_* and the list wrapper yield identical sequences for a fixed seed."""
+
+    def test_arrival_processes(self):
+        assert list(islice(iter_poisson_arrivals(2.0, seed=11), 500)) == poisson_arrivals(
+            500, 2.0, seed=11
+        )
+        assert list(islice(iter_deterministic_arrivals(0.5, start=2), 100)) == (
+            deterministic_arrivals(100, 0.5, start=2)
+        )
+        assert list(islice(iter_batch_arrivals(3, gap=2), 12)) == batch_arrivals(4, 3, gap=2)
+        assert list(islice(iter_onoff_arrivals(3.0, 5, 10, seed=7), 400)) == onoff_arrivals(
+            400, 3.0, 5, 10, seed=7
+        )
+
+    @pytest.mark.parametrize(
+        "iter_fn,list_fn,kwargs",
+        [
+            (iter_uniform_random_workload, uniform_random_workload, {"num_packets": 300, "arrival_rate": 1.5}),
+            (iter_uniform_random_workload, uniform_random_workload, {"num_packets": 120}),
+            (iter_permutation_workload, permutation_workload, {"num_packets": 200, "arrival_rate": 2.0}),
+            (iter_hotspot_workload, hotspot_workload, {"num_packets": 150, "num_hotspots": 2, "arrival_rate": 1.0}),
+            (iter_zipf_workload, zipf_workload, {"num_packets": 250, "exponent": 1.3, "arrival_rate": 2.0}),
+            (iter_elephant_mice_workload, elephant_mice_workload, {"num_packets": 180, "arrival_rate": 1.5}),
+            (iter_bursty_workload, bursty_workload, {"num_packets": 220}),
+        ],
+        ids=["uniform-poisson", "uniform-deterministic", "permutation", "hotspot", "zipf", "elephant-mice", "bursty"],
+    )
+    def test_random_generators(self, topo, iter_fn, list_fn, kwargs):
+        lazy = list(iter_fn(topo, seed=42, **kwargs))
+        materialised = list_fn(topo, seed=42, **kwargs)
+        assert lazy == materialised
+        arrivals = [p.arrival for p in lazy]
+        assert arrivals == sorted(arrivals)
+        assert [p.packet_id for p in lazy] == list(range(len(lazy)))
+
+    def test_structured_generators(self, topo):
+        assert list(
+            iter_all_to_all_workload(topo, packets_per_pair=2, weight_sampler=uniform_weights(1, 5), seed=9)
+        ) == all_to_all_workload(topo, packets_per_pair=2, weight_sampler=uniform_weights(1, 5), seed=9)
+        assert list(iter_incast_workload(topo, num_senders=3, packets_per_sender=2, seed=9)) == (
+            incast_workload(topo, num_senders=3, packets_per_sender=2, seed=9)
+        )
+
+    def test_standard_projector_workload_matches_instances(self):
+        """The CLI's streaming workload factory reproduces the E7 suite exactly."""
+        from repro.experiments import standard_projector_instances, standard_projector_workload
+
+        instances = standard_projector_instances(num_racks=4, lasers_per_rack=2, num_packets=60, seed=9)
+        for pattern, instance in instances.items():
+            topo, stream = standard_projector_workload(
+                pattern, num_racks=4, lasers_per_rack=2, num_packets=60, seed=9
+            )
+            assert topo.name == instance.topology.name
+            assert list(stream) == instance.packets
+
+    def test_standard_projector_workload_rejects_unknown_pattern(self):
+        from repro.exceptions import ExperimentError
+        from repro.experiments import standard_projector_workload
+
+        with pytest.raises(ExperimentError, match="unknown workload pattern"):
+            standard_projector_workload("nope")
+
+    def test_paper_figures(self):
+        assert list(iter_figure1_packets()) == figure1_packets()
+        assert list(iter_figure2_packets_pi()) == figure2_packets_pi()
+        assert list(iter_figure2_packets_pi_prime()) == figure2_packets_pi_prime()
+
+    def test_explicit_unsorted_arrivals_still_sorted(self, topo):
+        """Explicit out-of-order arrival lists keep the historical build_packets order."""
+        packets = uniform_random_workload(topo, 3, arrivals=[5, 3, 4], seed=0)
+        assert [p.arrival for p in packets] == [3, 4, 5]
+        assert [p.packet_id for p in packets] == [0, 1, 2]
+        assert packets == list(iter_uniform_random_workload(topo, 3, arrivals=[5, 3, 4], seed=0))
+
+    def test_stream_packets_rejects_out_of_order_arrivals(self):
+        specs = [
+            PacketSpec(source="s", destination="d", weight=1.0, arrival=5),
+            PacketSpec(source="s", destination="d", weight=1.0, arrival=2),
+        ]
+        with pytest.raises(WorkloadError, match="non-decreasing"):
+            list(stream_packets(specs))
+
+    def test_generators_are_lazy(self, topo):
+        """Pulling k packets must not consume the whole stream."""
+        stream = iter_uniform_random_workload(topo, 10**9, arrival_rate=2.0, seed=1)
+        head = list(islice(stream, 5))
+        assert [p.packet_id for p in head] == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------- #
+# aggregate retention matches full retention bit-for-bit
+# ---------------------------------------------------------------------- #
+class TestAggregateRetention:
+    def _check_instance(self, instance, policy_factory):
+        full = simulate(instance.topology, policy_factory(), instance.packets)
+        agg = simulate(
+            instance.topology, policy_factory(), instance.iter_packets(), retention="aggregate"
+        )
+        assert agg.all_delivered
+        assert agg.summary() == full.summary()
+        assert agg.total_weighted_latency == full.total_weighted_latency
+        assert agg.total_alpha == full.total_alpha
+        assert agg.mean_flow_completion_time == full.mean_flow_completion_time
+        assert matching_occupancy(agg) == matching_occupancy(full)
+        assert len(agg) == len(full)
+        assert agg.num_slots == full.num_slots
+
+    def test_e1_figure1(self):
+        self._check_instance(figure1_instance(), OpportunisticLinkScheduler)
+
+    def test_e2_figure2(self):
+        for instance in figure2_instances().values():
+            self._check_instance(instance, OpportunisticLinkScheduler)
+
+    def test_generated_workload_both_policies(self, topo):
+        packets = uniform_random_workload(
+            topo, 2000, weight_sampler=uniform_weights(1, 10), arrival_rate=1.5, seed=5
+        )
+        for factory in (OpportunisticLinkScheduler, make_fifo_policy):
+            full = simulate(topo, factory(), packets)
+            agg = simulate(topo, factory(), iter(packets), retention="aggregate")
+            assert agg.summary() == full.summary()
+
+    def test_streaming_end_to_end_without_materialising(self, topo):
+        """Engine consumes the lazy generator directly."""
+        result = simulate(
+            topo,
+            OpportunisticLinkScheduler(),
+            iter_uniform_random_workload(topo, 1500, arrival_rate=1.5, seed=8),
+            retention="aggregate",
+        )
+        reference = simulate(
+            topo,
+            OpportunisticLinkScheduler(),
+            uniform_random_workload(topo, 1500, arrival_rate=1.5, seed=8),
+        )
+        assert result.summary() == reference.summary()
+
+    def test_aggregate_refuses_per_packet_accessors(self):
+        instance = figure1_instance()
+        agg = simulate(
+            instance.topology, OpportunisticLinkScheduler(), instance.iter_packets(),
+            retention="aggregate",
+        )
+        for call in (agg.weighted_latencies, agg.flow_completion_times, agg.chunk_records):
+            with pytest.raises(ValueError, match="retention"):
+                call()
+        with pytest.raises(ValueError, match="retention"):
+            agg.record(0)
+
+    def test_aggregate_rejects_out_of_order_stream(self, topo):
+        packets = uniform_random_workload(topo, 20, seed=3)
+        shuffled = [packets[1], packets[0]] + packets[2:]
+        with pytest.raises(SimulationError, match="strictly increasing"):
+            simulate(topo, OpportunisticLinkScheduler(), iter(shuffled), retention="aggregate")
+
+    def test_aggregate_rejects_unroutable_packet(self, topo):
+        # Same-rack pairs have no edges on the projector fabric.
+        bad = Packet(packet_id=0, source="rack0:src", destination="rack0:dst", weight=1.0, arrival=1)
+        with pytest.raises(SimulationError, match="cannot be routed"):
+            simulate(topo, OpportunisticLinkScheduler(), iter([bad]), retention="aggregate")
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ValueError, match="retention"):
+            EngineConfig(retention="bogus")
+
+    def test_aggregate_with_slot_skipping_disabled(self, topo):
+        """The walk and the skip agree in aggregate mode too."""
+        packets = uniform_random_workload(topo, 200, arrival_rate=0.05, seed=13)
+        skip = SimulationEngine(
+            topo, OpportunisticLinkScheduler(), EngineConfig(retention="aggregate")
+        ).run(iter(packets))
+        walk = SimulationEngine(
+            topo,
+            OpportunisticLinkScheduler(),
+            EngineConfig(retention="aggregate", slot_skipping=False),
+        ).run(iter(packets))
+        assert skip.summary() == walk.summary()
+
+
+# ---------------------------------------------------------------------- #
+# compensated summation (satellite regression)
+# ---------------------------------------------------------------------- #
+class TestCompensatedSummation:
+    def test_matches_fsum_where_naive_sum_drifts(self):
+        # One cancellation cycle: Neumaier recovers the exact (fsum) total,
+        # a naive running sum loses the small addends entirely.
+        values = [1e16, 1.0, -1e16, 1.0]
+        assert compensated_total(values) == math.fsum(values) == 2.0
+        assert sum(values) == 1.0  # the drift the satellite fixes
+
+    def test_stays_close_to_fsum_under_repeated_cancellation(self):
+        values = [1e16, 1.0, -1e16, 1.0] * 500 + [0.1] * 1000
+        exact = math.fsum(values)
+        compensated_error = abs(compensated_total(values) - exact)
+        naive_error = abs(sum(values) - exact)
+        assert compensated_error <= 1e-11 * abs(exact)
+        assert naive_error > 100 * max(compensated_error, 1e-30)
+
+    def test_large_n_weighted_latency_total_matches_fsum(self, topo):
+        packets = uniform_random_workload(
+            topo, 3000, weight_sampler=uniform_weights(1, 10), arrival_rate=2.0, seed=21
+        )
+        result = simulate(topo, OpportunisticLinkScheduler(), packets)
+        per_packet = result.weighted_latencies()
+        # records iterate in dispatch order == packet-id order for canonical instances
+        assert result.total_weighted_latency == math.fsum(per_packet)
+
+    def test_compensated_sum_incremental(self):
+        acc = CompensatedSum()
+        for v in (1e16, 1.0, -1e16):
+            acc.add(v)
+        assert acc.value == 1.0
+        assert float(acc) == 1.0
+
+
+# ---------------------------------------------------------------------- #
+# pending-chunk pool incremental counters (satellite)
+# ---------------------------------------------------------------------- #
+class TestPoolCounters:
+    def _chunks(self, n, delay=2):
+        packet = Packet(packet_id=0, source="s", destination="d", weight=2.0, arrival=1)
+        return split_into_chunks(packet, "t", "r", edge_delay=delay)[:n]
+
+    def test_len_and_pending_work_incremental(self):
+        pool = PendingChunkPool()
+        assert len(pool) == 0
+        assert pool.total_pending_work() == 0.0
+        chunks = self._chunks(2)
+        pool.add_all(chunks)
+        assert len(pool) == 2
+        assert pool.total_pending_work() == pytest.approx(2.0)
+        # engine protocol: mutate remaining_work, report via debit_work
+        chunks[0].remaining_work -= 0.5
+        pool.debit_work(0.5)
+        assert pool.total_pending_work() == pytest.approx(1.5)
+        chunks[0].remaining_work = 0.0
+        pool.debit_work(0.5)
+        pool.remove(chunks[0])
+        assert len(pool) == 1
+        assert pool.total_pending_work() == pytest.approx(1.0)
+        chunks[1].remaining_work = 0.0
+        pool.debit_work(1.0)
+        pool.remove(chunks[1])
+        assert len(pool) == 0
+        assert pool.total_pending_work() == 0.0  # exact reset when empty
+
+    def test_clear_resets_counters(self):
+        pool = PendingChunkPool()
+        pool.add_all(self._chunks(2))
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.total_pending_work() == 0.0
+
+    def test_counters_track_engine_run(self, topo):
+        packets = uniform_random_workload(topo, 300, arrival_rate=2.0, seed=2)
+        result = simulate(topo, OpportunisticLinkScheduler(), packets)
+        assert result.all_delivered  # run drains the pool through debit/remove
+
+
+# ---------------------------------------------------------------------- #
+# streamed trace IO
+# ---------------------------------------------------------------------- #
+class TestTraceStreaming:
+    def test_csv_lazy_reader_roundtrip(self, topo, tmp_path):
+        packets = uniform_random_workload(topo, 100, arrival_rate=2.0, seed=4)
+        path = write_packet_trace(packets, tmp_path / "trace.csv")
+        assert list(iter_packet_trace(path)) == packets
+
+    def test_jsonl_roundtrip_streaming_writer(self, topo, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_packet_trace_jsonl(
+            iter_uniform_random_workload(topo, 200, arrival_rate=1.5, seed=6), path
+        )
+        expected = uniform_random_workload(topo, 200, arrival_rate=1.5, seed=6)
+        assert read_packet_trace_jsonl(path) == expected
+        assert list(iter_packet_trace_jsonl(path, chunk_size=17)) == expected
+        chunks = list(iter_packet_trace_chunks(path, chunk_size=64))
+        assert [len(c) for c in chunks] == [64, 64, 64, 8]
+        assert [p for chunk in chunks for p in chunk] == expected
+
+    def test_jsonl_reader_rejects_out_of_order(self, topo, tmp_path):
+        packets = uniform_random_workload(topo, 5, seed=1)
+        path = write_packet_trace_jsonl(reversed(packets), tmp_path / "bad.jsonl")
+        with pytest.raises(WorkloadError, match="strictly increasing"):
+            list(iter_packet_trace_jsonl(path))
+
+    def test_slot_trace_jsonl_stream_matches_in_memory(self, tmp_path):
+        instance = figure1_instance()
+        path = tmp_path / "slots.jsonl"
+        streamed = simulate(
+            instance.topology,
+            OpportunisticLinkScheduler(),
+            instance.packets,
+            record_trace=True,
+            trace_path=str(path),
+        )
+        replayed = read_simulation_trace(path)
+        assert len(replayed) == len(streamed.trace)
+        for disk, memory in zip(replayed, streamed.trace):
+            assert disk == memory
+
+    def test_slot_trace_streaming_without_in_memory_trace(self, topo, tmp_path):
+        """trace_path alone streams slots to disk while result.trace stays None."""
+        packets = uniform_random_workload(topo, 50, arrival_rate=1.0, seed=9)
+        path = tmp_path / "slots.jsonl"
+        result = simulate(
+            topo, OpportunisticLinkScheduler(), packets, trace_path=str(path)
+        )
+        assert result.trace is None
+        trace = read_simulation_trace(path)
+        assert len(trace) == result.num_slots
+        transmitted = sum(len(s.transmissions) for s in trace)
+        assert transmitted > 0
