@@ -13,7 +13,11 @@ The package provides:
 * :mod:`repro.baselines` — online comparators and offline optima;
 * :mod:`repro.analysis` — the LP relaxation, dual fitting and
   competitive-ratio machinery (Figures 3–4, Lemmas 1–5, Theorem 1);
-* :mod:`repro.experiments` — the experiment harness behind the benchmarks.
+* :mod:`repro.experiments` — the experiment harness behind the benchmarks;
+* :mod:`repro.scenarios` — the declarative scenario matrix: named
+  topology × workload × policy × seed grids (including adversarial
+  charging-argument stressors) evaluated through the engine's single-pass
+  multi-policy path.
 
 Quickstart
 ----------
@@ -35,7 +39,7 @@ from repro.core.algorithm import (
 from repro.core.interfaces import Dispatcher, Policy, Scheduler
 from repro.core.packet import Packet
 from repro.network.topology import TwoTierTopology
-from repro.simulation.engine import EngineConfig, SimulationEngine, simulate
+from repro.simulation.engine import EngineConfig, SimulationEngine, simulate, simulate_multi
 from repro.simulation.results import SimulationResult
 from repro.workloads.base import Instance
 
@@ -56,4 +60,5 @@ __all__ = [
     "EngineConfig",
     "SimulationResult",
     "simulate",
+    "simulate_multi",
 ]

@@ -30,8 +30,21 @@ without writing Python:
     aggregate`` bounds each simulation's memory; ``--chunksize`` sets how
     many grid points are streamed to a worker per dispatch.
 
-Every subcommand accepts ``--seed`` and prints deterministic output for a
-fixed seed; sweep output is identical for any ``--jobs`` value.
+``python -m repro.cli scenarios list --tag adversarial``
+    Show the declarative scenario registry (name, tags, recipe, policies).
+
+``python -m repro.cli scenarios run --grid smoke --jobs 4``
+    Expand a named grid (or ``--scenario NAME...``) of the scenario matrix
+    and run every (scenario, seed) cell; in the default ``--mode shared``
+    each cell evaluates all of its policies in a single engine pass over a
+    shared arrival stream (``SimulationEngine.run_multi``), so a P-policy
+    cell generates its workload once instead of P times.  Rows are identical
+    for any ``--jobs``, ``--mode`` and ``--retention``.
+
+Every generating subcommand accepts ``--seed`` and prints deterministic
+output for a fixed seed (``scenarios`` takes its seeds from the registry's
+declarative cells instead); sweep and scenario output is identical for any
+``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -173,6 +186,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="grid points streamed to a worker per dispatch (jobs > 1)",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list or run the declarative scenario matrix"
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    scen_list = scen_sub.add_parser("list", help="show the scenario registry")
+    scen_list.add_argument("--tag", default=None, help="only scenarios carrying this tag")
+    scen_list.add_argument(
+        "--grid", default=None, help="only scenarios of this named grid"
+    )
+    scen_list.set_defaults(func=cmd_scenarios_list)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="run a scenario grid through the experiment runner"
+    )
+    scen_run.add_argument(
+        "--grid", default=None,
+        help="named grid to run (smoke, paper, adversarial, full); "
+        "default 'smoke' when no --scenario is given",
+    )
+    scen_run.add_argument(
+        "--scenario", nargs="+", default=None, metavar="NAME",
+        help="explicit scenario names to run instead of a named grid",
+    )
+    scen_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the cell grid (rows identical for any value)",
+    )
+    scen_run.add_argument(
+        "--chunksize", type=int, default=1,
+        help="cells streamed to a worker per dispatch (jobs > 1)",
+    )
+    scen_run.add_argument(
+        "--mode", choices=("shared", "per-policy"), default="shared",
+        help="'shared' evaluates each cell's policies in one run_multi pass "
+        "over a shared arrival stream; 'per-policy' runs one task per "
+        "(cell, policy) — identical rows, finer parallelism",
+    )
+    scen_run.add_argument(
+        "--retention", choices=("full", "aggregate"), default="full",
+        help="simulation retention mode ('aggregate' bounds per-run memory; "
+        "rows are identical)",
+    )
+    scen_run.add_argument(
+        "--output", default=None,
+        help="also write the rows to this path (.json document or streamed .jsonl)",
+    )
+    scen_run.set_defaults(func=cmd_scenarios_run)
     return parser
 
 
@@ -382,8 +444,12 @@ def _run_one_sweep(name: str, args: argparse.Namespace) -> list:
     raise ValueError(f"unknown sweep {name!r}")  # pragma: no cover - argparse guards
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run one (or every) parameter sweep through the parallel runner."""
+def _validate_runner_args(args: argparse.Namespace) -> int:
+    """Shared up-front checks of the runner knobs (--jobs/--chunksize/--output).
+
+    Returns 0 when valid, else the exit code to return — checked before any
+    work so a long run is not thrown away on a typo.
+    """
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
@@ -391,12 +457,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --chunksize must be >= 1", file=sys.stderr)
         return 2
     if args.output is not None and not Path(args.output).parent.is_dir():
-        # Checked up front so a long sweep is not thrown away on a typo.
         print(
             f"error: --output directory {Path(args.output).parent} does not exist",
             file=sys.stderr,
         )
         return 2
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one (or every) parameter sweep through the parallel runner."""
+    invalid = _validate_runner_args(args)
+    if invalid:
+        return invalid
     names = list(_SWEEPS) if args.experiment == "all" else [args.experiment]
     tagged_rows = []
     for name in names:
@@ -411,6 +484,86 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else:
             path = write_json(tagged_rows, args.output)
         print(f"wrote {len(tagged_rows)} rows to {path}")
+    return 0
+
+
+def cmd_scenarios_list(args: argparse.Namespace) -> int:
+    """Print the scenario registry (optionally filtered by tag or grid)."""
+    from repro.exceptions import ScenarioError
+    from repro.scenarios import grid_matrix, grid_names, list_scenarios
+
+    names = None
+    if args.grid is not None:
+        try:
+            names = {s.name for s in grid_matrix(args.grid).scenarios}
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    scenarios = [
+        s
+        for s in list_scenarios(tag=args.tag)
+        if names is None or s.name in names
+    ]
+    rows = [
+        [
+            s.name,
+            ",".join(s.tags),
+            s.topology.kind,
+            s.workload.kind,
+            ",".join(s.policies),
+            len(s.seeds),
+            s.description,
+        ]
+        for s in scenarios
+    ]
+    print(
+        format_table(
+            ["scenario", "tags", "topology", "workload", "policies", "seeds", "description"],
+            rows,
+            title=f"{len(rows)} registered scenarios (grids: {', '.join(grid_names())})",
+        )
+    )
+    return 0
+
+
+def cmd_scenarios_run(args: argparse.Namespace) -> int:
+    """Expand and run a scenario grid through the parallel experiment runner."""
+    from repro.exceptions import ScenarioError
+    from repro.scenarios import grid_matrix, scenario_matrix
+
+    invalid = _validate_runner_args(args)
+    if invalid:
+        return invalid
+    if args.grid is not None and args.scenario is not None:
+        print("error: pass either --grid or --scenario, not both", file=sys.stderr)
+        return 2
+    try:
+        if args.scenario is not None:
+            matrix = scenario_matrix(args.scenario, name="cli")
+        else:
+            matrix = grid_matrix(args.grid or "smoke")
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = matrix.run(
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        mode=args.mode,
+        retention=args.retention,
+        output_path=args.output,
+    )
+    print(
+        rows_to_table(
+            rows,
+            title=(
+                f"scenario grid: {matrix.name} — {matrix.num_cells} cells, "
+                f"{matrix.num_runs} runs (mode={args.mode}, jobs={args.jobs})"
+            ),
+        )
+    )
+    if args.output is not None:
+        print(f"wrote {len(rows)} rows to {args.output}")
     return 0
 
 

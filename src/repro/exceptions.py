@@ -18,6 +18,7 @@ __all__ = [
     "AnalysisError",
     "LPError",
     "ExperimentError",
+    "ScenarioError",
 ]
 
 
@@ -74,3 +75,7 @@ class LPError(AnalysisError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness (bad configuration, missing data)."""
+
+
+class ScenarioError(ExperimentError):
+    """Raised by the scenario registry (unknown kinds, names or grids)."""

@@ -21,7 +21,7 @@ from repro.analysis.competitive import evaluate_competitive_ratio
 from repro.analysis.lp import solve_lp_lower_bound
 from repro.core.algorithm import OpportunisticLinkScheduler, theoretical_competitive_ratio
 from repro.core.interfaces import Policy
-from repro.experiments.comparison import run_policy
+from repro.experiments.comparison import run_policies, run_policy
 from repro.experiments.runner import ExperimentSpec, ExperimentTask, run_experiment
 from repro.network.builders import add_uniform_fixed_links, projector_fabric, random_bipartite
 from repro.utils.rng import SeedSequenceFactory
@@ -171,8 +171,8 @@ class DelaySweepRow:
     mean_completion_time: float
 
 
-def _delay_heterogeneity_task(task: ExperimentTask) -> DelaySweepRow:
-    """Build the delay-pool instance from its seeds and run one policy on it."""
+def _delay_pool_instance(task: ExperimentTask) -> Instance:
+    """Rebuild one delay-pool instance from the task's deterministic seeds."""
     pool: Sequence[int] = task.params["pool"]
     topo = random_bipartite(
         task.params["num_sources"],
@@ -190,18 +190,41 @@ def _delay_heterogeneity_task(task: ExperimentTask) -> DelaySweepRow:
         arrival_rate=2.0,
         seed=task.params["packets_seed"],
     )
-    instance = Instance(
+    return Instance(
         name=f"delays-{'-'.join(map(str, pool))}", topology=topo, packets=packets
     )
-    result = run_policy(
-        instance, task.params["policy"], retention=task.params.get("retention", "full")
-    )
+
+
+def _delay_row(pool: Sequence[int], name: str, result) -> DelaySweepRow:
     return DelaySweepRow(
         delay_pool="/".join(map(str, pool)),
-        policy=task.params["policy_name"],
+        policy=name,
         total_weighted_latency=result.total_weighted_latency,
         mean_completion_time=result.mean_flow_completion_time,
     )
+
+
+def _delay_heterogeneity_task(task: ExperimentTask) -> DelaySweepRow:
+    """Build the delay-pool instance from its seeds and run one policy on it."""
+    result = run_policy(
+        _delay_pool_instance(task),
+        task.params["policy"],
+        retention=task.params.get("retention", "full"),
+    )
+    return _delay_row(task.params["pool"], task.params["policy_name"], result)
+
+
+def _delay_heterogeneity_multi_task(task: ExperimentTask) -> List[DelaySweepRow]:
+    """Build one delay-pool instance and run every policy over its shared stream."""
+    results = run_policies(
+        _delay_pool_instance(task),
+        task.params["policies"],
+        retention=task.params.get("retention", "full"),
+    )
+    return [
+        _delay_row(task.params["pool"], name, results[name])
+        for name in task.params["policies"]
+    ]
 
 
 def delay_heterogeneity_sweep(
@@ -214,14 +237,23 @@ def delay_heterogeneity_sweep(
     jobs: int = 1,
     chunksize: int = 1,
     retention: str = "full",
+    shared_stream: bool = True,
 ) -> List[DelaySweepRow]:
-    """Compare policies as the reconfigurable-edge delay distribution widens (E8)."""
+    """Compare policies as the reconfigurable-edge delay distribution widens (E8).
+
+    With ``shared_stream=True`` (default) each delay pool is one task: its
+    instance is generated once and every policy runs over the shared arrival
+    stream via
+    :meth:`~repro.simulation.engine.SimulationEngine.run_multi`, so a sweep
+    over ``P`` policies performs one workload generation per pool instead of
+    ``P``.  ``shared_stream=False`` restores one task per (pool, policy) —
+    finer ``jobs`` granularity.  Rows are identical either way.
+    """
     seeds = SeedSequenceFactory(seed)
-    grid = [
-        {
+
+    def pool_params(pool: Sequence[int]) -> Dict[str, object]:
+        return {
             "pool": tuple(pool),
-            "policy": policy,
-            "policy_name": name,
             "num_sources": num_sources,
             "num_destinations": num_destinations,
             "num_packets": num_packets,
@@ -229,11 +261,21 @@ def delay_heterogeneity_sweep(
             "packets_seed": seeds.integer_seed("packets", tuple(pool)),
             "retention": retention,
         }
-        for pool in delay_pools
-        for name, policy in policies.items()
-    ]
+
+    if shared_stream:
+        grid = [
+            {**pool_params(pool), "policies": dict(policies)} for pool in delay_pools
+        ]
+        task_fn = _delay_heterogeneity_multi_task
+    else:
+        grid = [
+            {**pool_params(pool), "policy": policy, "policy_name": name}
+            for pool in delay_pools
+            for name, policy in policies.items()
+        ]
+        task_fn = _delay_heterogeneity_task
     spec = ExperimentSpec(
-        name="delay-heterogeneity", task_fn=_delay_heterogeneity_task, grid=grid, seed=seed
+        name="delay-heterogeneity", task_fn=task_fn, grid=grid, seed=seed
     )
     return run_experiment(spec, jobs=jobs, chunksize=chunksize)
 

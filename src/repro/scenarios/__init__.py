@@ -1,0 +1,42 @@
+"""Declarative scenario matrix: registry, specs and the multi-policy cell runner.
+
+See :mod:`repro.scenarios.spec` for the data model (``TopologySpec`` ×
+``WorkloadSpec`` × policies × seeds expanding into experiment-runner tasks)
+and :mod:`repro.scenarios.library` for the named scenarios and grids.
+"""
+
+from repro.scenarios.library import (
+    GRIDS,
+    get_scenario,
+    grid_matrix,
+    grid_names,
+    list_scenarios,
+    register_scenario,
+    scenario_matrix,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    Scenario,
+    ScenarioMatrix,
+    TopologySpec,
+    WorkloadSpec,
+    resolve_policies,
+    resolve_weight_sampler,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioMatrix",
+    "TopologySpec",
+    "WorkloadSpec",
+    "resolve_policies",
+    "resolve_weight_sampler",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "scenario_matrix",
+    "grid_matrix",
+    "grid_names",
+    "GRIDS",
+]

@@ -1,0 +1,284 @@
+"""The scenario registry: named scenarios and named grids.
+
+Scenarios fall into three families:
+
+* **paper** — the topology × workload combinations the paper's experiment
+  suite (E7–E10) evaluates: the six standard traffic patterns on a
+  ProjecToR fabric, the single-tier crossbar comparison point and a hybrid
+  fabric with fixed links;
+* **adversarial** — stress patterns derived from the charging argument
+  (see :mod:`repro.workloads.adversarial`): priority-inversion bursts,
+  laser/photodetector contention hotspots and heavy-tailed incast;
+* **deterministic** — the worked examples (Figures 1 and 2), whose packets
+  and topologies carry no randomness at all, anchoring the golden tests.
+
+Grids are named scenario subsets: ``smoke`` (seconds, runs in CI on every
+push), ``paper``, ``adversarial`` and ``full``.  Use
+:func:`register_scenario` to add project-specific scenarios; everything
+registered shows up in ``repro scenarios list`` and the ``full`` grid
+automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.spec import Scenario, ScenarioMatrix, TopologySpec, WorkloadSpec
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "scenario_matrix",
+    "grid_matrix",
+    "grid_names",
+    "GRIDS",
+]
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry (and return it, decorator-style)."""
+    if scenario.name in _REGISTRY and not replace:
+        raise ScenarioError(
+            f"scenario {scenario.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_scenarios(tag: Optional[str] = None) -> List[Scenario]:
+    """All registered scenarios (optionally filtered by tag), in registration order."""
+    scenarios = list(_REGISTRY.values())
+    if tag is not None:
+        scenarios = [s for s in scenarios if tag in s.tags]
+    return scenarios
+
+
+def scenario_names(tag: Optional[str] = None) -> List[str]:
+    """Names of all registered scenarios (optionally filtered by tag)."""
+    return [s.name for s in list_scenarios(tag)]
+
+
+def scenario_matrix(names: Iterable[str], name: str = "custom") -> ScenarioMatrix:
+    """Build a matrix from scenario names (order preserved)."""
+    return ScenarioMatrix(name=name, scenarios=tuple(get_scenario(n) for n in names))
+
+
+# ---------------------------------------------------------------------- #
+# the scenario library
+# ---------------------------------------------------------------------- #
+#: Policy set raced on the full-size scenarios (ALG plus the E7 baselines).
+_RACE = ("alg", "fifo", "maxweight", "islip", "shortest-path")
+#: Small, fast policy pair for the smoke/deterministic scenarios.
+_PAIR = ("alg", "fifo")
+
+_PROJECTOR = TopologySpec("projector", {"num_racks": 6, "lasers_per_rack": 2,
+                                        "photodetectors_per_rack": 2})
+
+register_scenario(Scenario(
+    name="figure1",
+    description="Figure 1 worked example: 5 packets, hybrid fixed link (deterministic)",
+    topology=TopologySpec("figure1"),
+    workload=WorkloadSpec("figure1-packets"),
+    policies=_PAIR,
+    tags=("paper", "deterministic", "smoke", "tiny"),
+))
+
+register_scenario(Scenario(
+    name="figure2",
+    description="Figure 2 worked example: the Π packet set (deterministic)",
+    topology=TopologySpec("figure2"),
+    workload=WorkloadSpec("figure2-packets"),
+    policies=_PAIR,
+    tags=("paper", "deterministic", "tiny"),
+))
+
+register_scenario(Scenario(
+    name="uniform-projector",
+    description="Uniform random pairs on a 6-rack ProjecToR fabric",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("uniform", {"num_packets": 120, "arrival_rate": 2.0},
+                          weights=("uniform", 1, 10)),
+    policies=_RACE,
+    tags=("paper",),
+))
+
+register_scenario(Scenario(
+    name="zipf-projector",
+    description="Zipf-skewed pair popularity with Pareto weights",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("zipf", {"num_packets": 120, "exponent": 1.2,
+                                   "arrival_rate": 2.0},
+                          weights=("pareto", 1.5)),
+    policies=_RACE,
+    tags=("paper",),
+))
+
+register_scenario(Scenario(
+    name="elephant-mice-projector",
+    description="Few heavy elephant pairs over a mice background",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("elephant-mice", {"num_packets": 120, "arrival_rate": 2.0}),
+    policies=_RACE,
+    tags=("paper",),
+))
+
+register_scenario(Scenario(
+    name="hotspot-projector",
+    description="Two destination hotspots absorbing 60% of traffic",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("hotspot", {"num_packets": 120, "num_hotspots": 2,
+                                      "hotspot_fraction": 0.6, "arrival_rate": 2.0},
+                          weights=("uniform", 1, 10)),
+    policies=_RACE,
+    tags=("paper",),
+))
+
+register_scenario(Scenario(
+    name="bursty-projector",
+    description="On/off microbursts over uniformly random pairs",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("bursty", {"num_packets": 120, "on_rate": 4.0},
+                          weights=("uniform", 1, 10)),
+    policies=_RACE,
+    tags=("paper",),
+))
+
+register_scenario(Scenario(
+    name="incast-projector",
+    description="One-shot incast: 5 senders converge on one destination",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("incast", {"num_senders": 5, "packets_per_sender": 6},
+                          weights=("uniform", 1, 10)),
+    policies=_RACE,
+    tags=("paper",),
+))
+
+register_scenario(Scenario(
+    name="crossbar-uniform",
+    description="Classic 8-port single-tier crossbar (Section V comparison point)",
+    topology=TopologySpec("crossbar", {"num_ports": 8}),
+    workload=WorkloadSpec("uniform", {"num_packets": 120, "arrival_rate": 4.0},
+                          weights=("uniform", 1, 10)),
+    policies=_RACE,
+    tags=("paper",),
+))
+
+register_scenario(Scenario(
+    name="hybrid-zipf",
+    description="ProjecToR fabric plus delay-4 fixed links, Zipf traffic (E9 regime)",
+    topology=TopologySpec("projector", {"num_racks": 6, "lasers_per_rack": 2,
+                                        "photodetectors_per_rack": 2},
+                          fixed_link_delay=4),
+    workload=WorkloadSpec("zipf", {"num_packets": 120, "exponent": 1.1,
+                                   "arrival_rate": 2.0},
+                          weights=("uniform", 1, 10)),
+    policies=_RACE,
+    tags=("paper", "hybrid"),
+))
+
+register_scenario(Scenario(
+    name="tiny-random",
+    description="Tiny random hybrid fabric, 24 packets (fast CI cell)",
+    topology=TopologySpec("random-bipartite",
+                          {"num_sources": 3, "num_destinations": 3,
+                           "transmitters_per_source": 2,
+                           "receivers_per_destination": 2,
+                           "edge_probability": 0.6, "delay_choices": (1, 2)},
+                          fixed_link_delay=6),
+    workload=WorkloadSpec("uniform", {"num_packets": 24, "arrival_rate": 1.5},
+                          weights=("uniform", 1, 5)),
+    policies=_PAIR + ("islip",),
+    seeds=(0, 1),
+    tags=("smoke", "tiny"),
+))
+
+# -------------------------- adversarial family ------------------------- #
+register_scenario(Scenario(
+    name="priority-inversion-burst",
+    description="Light packets seize edges one slot before heavy bursts (charging stressor)",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("priority-inversion",
+                          {"num_bursts": 10, "light_per_burst": 6,
+                           "heavy_per_burst": 3, "burst_gap": 8}),
+    policies=_RACE,
+    tags=("adversarial", "smoke"),
+))
+
+register_scenario(Scenario(
+    name="laser-hotspot",
+    description="90% of traffic funnels through one rack's two lasers",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("contention-hotspot",
+                          {"num_packets": 120, "side": "transmitter",
+                           "hot_fraction": 0.9, "arrival_rate": 3.0},
+                          weights=("pareto", 1.5)),
+    policies=_RACE,
+    tags=("adversarial",),
+))
+
+register_scenario(Scenario(
+    name="photodetector-hotspot",
+    description="90% of traffic converges on one rack's two photodetectors",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("contention-hotspot",
+                          {"num_packets": 120, "side": "receiver",
+                           "hot_fraction": 0.9, "arrival_rate": 3.0},
+                          weights=("pareto", 1.5)),
+    policies=_RACE,
+    tags=("adversarial",),
+))
+
+register_scenario(Scenario(
+    name="heavy-tailed-incast",
+    description="Repeated incast waves with Pareto(1.2) weights",
+    topology=_PROJECTOR,
+    workload=WorkloadSpec("heavy-tailed-incast",
+                          {"num_waves": 8, "senders_per_wave": 4,
+                           "packets_per_sender": 2, "wave_gap": 6,
+                           "pareto_exponent": 1.2}),
+    policies=_RACE,
+    tags=("adversarial",),
+))
+
+
+# ---------------------------------------------------------------------- #
+# grids
+# ---------------------------------------------------------------------- #
+GRIDS: Dict[str, Sequence[str]] = {
+    "smoke": ("figure1", "tiny-random", "priority-inversion-burst"),
+    "paper": ("figure1", "figure2", "uniform-projector", "zipf-projector",
+              "elephant-mice-projector", "hotspot-projector", "bursty-projector",
+              "incast-projector", "crossbar-uniform", "hybrid-zipf"),
+    "adversarial": ("priority-inversion-burst", "laser-hotspot",
+                    "photodetector-hotspot", "heavy-tailed-incast"),
+}
+
+
+def grid_names() -> List[str]:
+    """Names of all defined grids (``full`` is implicit: every scenario)."""
+    return sorted(GRIDS) + ["full"]
+
+
+def grid_matrix(grid: str) -> ScenarioMatrix:
+    """The :class:`ScenarioMatrix` of a named grid (``full`` = every scenario)."""
+    if grid == "full":
+        return ScenarioMatrix(name="full", scenarios=tuple(list_scenarios()))
+    if grid not in GRIDS:
+        raise ScenarioError(f"unknown grid {grid!r}; choose from {grid_names()}")
+    return scenario_matrix(GRIDS[grid], name=grid)

@@ -1,7 +1,7 @@
 """Time-slotted simulation of two-tier reconfigurable datacenter fabrics."""
 
 from repro.simulation.accumulators import CompensatedSum, OnlineSummary, compensated_total
-from repro.simulation.engine import EngineConfig, SimulationEngine, simulate
+from repro.simulation.engine import EngineConfig, SimulationEngine, simulate, simulate_multi
 from repro.simulation.metrics import (
     LatencyStatistics,
     compare_policies,
@@ -26,6 +26,7 @@ __all__ = [
     "EngineConfig",
     "SimulationEngine",
     "simulate",
+    "simulate_multi",
     "SimulationResult",
     "PacketRecord",
     "CompensatedSum",

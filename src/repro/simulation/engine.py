@@ -25,13 +25,21 @@ so the engine composes with the lazy workload generators in
 stream is simulated in O(active chunks) memory, while ``retention="full"``
 (the default) materialises the input and keeps a per-packet record exactly
 as before.  Both retentions produce bit-identical ``summary()`` numbers.
+
+The run loop itself lives in :class:`_PolicyLane` — one policy's pool,
+recorder and slot cursor, advanced one slot per ``step()`` call.  ``run()``
+drives a single lane to completion; :meth:`SimulationEngine.run_multi`
+drives one lane per policy round-robin over a shared arrival buffer, so a
+``P``-policy comparison consumes the workload stream once instead of ``P``
+times while producing per-policy results bit-identical to ``P`` separate
+``run()`` calls.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.interfaces import Policy
 from repro.core.packet import Chunk, EdgeAssignment, FixedLinkAssignment, Packet
@@ -48,7 +56,7 @@ from repro.simulation.trace import (
     TransmissionEvent,
 )
 
-__all__ = ["EngineConfig", "SimulationEngine", "simulate"]
+__all__ = ["EngineConfig", "SimulationEngine", "simulate", "simulate_multi"]
 
 #: Numerical tolerance used to snap remaining chunk work to zero.
 _WORK_EPSILON = 1e-9
@@ -212,6 +220,79 @@ class _StreamedArrivals:
 _ArrivalSource = Union[_BufferedArrivals, _StreamedArrivals]
 
 
+class _SharedArrivalBuffer:
+    """Fan-out wrapper over one arrival source for multi-policy runs.
+
+    ``run_multi`` gives every policy its own :class:`_ArrivalView` cursor over
+    this buffer, so each arrival batch is pulled from the underlying source
+    (and, in aggregate mode, generated by the workload iterator) exactly once
+    no matter how many policies consume it.  Batches are dropped as soon as
+    every view has moved past them, so the window held in memory is bounded by
+    how far the fastest lane runs ahead of the slowest one — not by the
+    stream length.
+    """
+
+    def __init__(self, source: _ArrivalSource) -> None:
+        self._source = source
+        self._batches: List[Tuple[int, List[Packet]]] = []
+        self._offset = 0  # absolute index of self._batches[0]
+
+    def view(self) -> "_ArrivalView":
+        """A new independent cursor starting at the first arrival batch."""
+        return _ArrivalView(self)
+
+    def batch_at(self, index: int) -> Optional[Tuple[int, List[Packet]]]:
+        """The ``(slot, batch)`` pair at absolute position ``index``.
+
+        Pulls further batches from the underlying source on demand; returns
+        ``None`` once the source is exhausted before ``index``.
+        """
+        while self._offset + len(self._batches) <= index:
+            slot = self._source.next_slot()
+            if slot is None:
+                return None
+            self._batches.append((slot, self._source.pop(slot)))
+        return self._batches[index - self._offset]
+
+    def release_before(self, index: int) -> None:
+        """Drop buffered batches below absolute position ``index``."""
+        keep_from = index - self._offset
+        if keep_from > 0:
+            del self._batches[:keep_from]
+            self._offset = index
+
+
+class _ArrivalView:
+    """One lane's cursor over a :class:`_SharedArrivalBuffer`.
+
+    Implements the same ``exhausted`` / ``next_slot`` / ``pop`` protocol as
+    the arrival sources, so a lane cannot tell whether it reads a private
+    source or a shared buffer.
+    """
+
+    def __init__(self, buffer: _SharedArrivalBuffer) -> None:
+        self._buffer = buffer
+        self.position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._buffer.batch_at(self.position) is None
+
+    def next_slot(self) -> Optional[int]:
+        item = self._buffer.batch_at(self.position)
+        return None if item is None else item[0]
+
+    def pop(self, slot: int) -> List[Packet]:
+        item = self._buffer.batch_at(self.position)
+        if item is None or item[0] != slot:
+            return []
+        self.position += 1
+        return item[1]
+
+
+_LaneArrivals = Union[_BufferedArrivals, _StreamedArrivals, _ArrivalView]
+
+
 # ---------------------------------------------------------------------- #
 # per-packet accounting: full records vs online aggregates
 # ---------------------------------------------------------------------- #
@@ -313,13 +394,145 @@ class _AggregateRecorder:
 _Recorder = Union[_FullRecorder, _AggregateRecorder]
 
 
+class _PolicyLane:
+    """One policy's complete simulation state, advanced one iteration at a time.
+
+    A lane owns everything :meth:`SimulationEngine.run` used to keep as loop
+    locals — the pending-chunk pool, the recorder, the result under
+    construction and the slot cursor — so several lanes can share one engine
+    (topology + config) and one arrival stream while remaining fully
+    independent.  ``step()`` executes exactly one iteration of the historical
+    run loop (dispatch this slot's arrivals, transmit one matching, then
+    possibly jump over empty slots), so a lane driven to completion is
+    bit-identical to the old single-policy loop.
+    """
+
+    __slots__ = (
+        "engine",
+        "policy",
+        "arrivals",
+        "recorder",
+        "result",
+        "writer",
+        "pool",
+        "slot",
+        "_slots_simulated",
+        "_aggregate",
+        "_want_events",
+    )
+
+    def __init__(
+        self,
+        engine: "SimulationEngine",
+        policy: Policy,
+        arrivals: _LaneArrivals,
+        recorder: _Recorder,
+        result: SimulationResult,
+        writer: Optional[SlotTraceWriter],
+    ) -> None:
+        self.engine = engine
+        self.policy = policy
+        self.arrivals = arrivals
+        self.recorder = recorder
+        self.result = result
+        self.writer = writer
+        self.pool = PendingChunkPool()
+        self._slots_simulated = 0
+        self._aggregate = engine.config.retention == "aggregate"
+        self._want_events = engine.config.record_trace or writer is not None
+        self.slot = arrivals.next_slot()
+        if self.slot is not None:
+            result.first_slot = self.slot
+
+    @property
+    def done(self) -> bool:
+        """Whether the lane has dispatched and delivered everything."""
+        return self.arrivals.exhausted and len(self.pool) == 0
+
+    def _budget_check(self) -> None:
+        if self._slots_simulated > self.engine.config.max_slots:
+            raise SimulationError(
+                f"simulation exceeded max_slots={self.engine.config.max_slots} "
+                f"(policy {self.policy.name!r}, arrivals exhausted: "
+                f"{self.arrivals.exhausted}, {len(self.pool)} chunks "
+                f"/ {self.pool.total_pending_work():.6g} chunk-units of work pending)"
+            )
+
+    def step(self) -> None:
+        """Simulate one slot (plus any skipped empty gap) of this lane's run."""
+        engine = self.engine
+        config = engine.config
+        slot = self.slot
+        result = self.result
+        pool = self.pool
+        self._slots_simulated += 1
+        self._budget_check()
+        slot_trace = SlotTrace(slot=slot) if self._want_events else None
+
+        # 1. Pull and dispatch this slot's arrival batch, in input order.
+        for packet in self.arrivals.pop(slot):
+            engine._dispatch_packet(self.policy, packet, pool, slot, self.recorder, slot_trace)
+
+        # 2. Ask the scheduler for this slot's matching and transmit it.
+        matching = self.policy.scheduler.select_matching(pool, engine.topology, slot)
+        if config.validate_matchings:
+            engine._validate_matching(matching, pool, slot)
+        size = len(matching)
+        if self._aggregate:
+            self.recorder.note_matchings(1, size, size, 1 if size else 0)
+        else:
+            result.matching_sizes.append(size)
+        if slot_trace is not None:
+            slot_trace.matching = [chunk.edge for chunk in matching]
+
+        for chunk in matching:
+            engine._transmit_on_edge(chunk, pool, slot, self.recorder, slot_trace)
+
+        if slot_trace is not None:
+            if config.record_trace:
+                result.trace.slots.append(slot_trace)
+            if self.writer is not None:
+                self.writer.write(slot_trace)
+        result.last_slot = slot
+        slot += 1
+
+        # 3. Fast path: with no pending chunks, no slot can transmit
+        #    anything until the next arrival — jump straight to it.
+        next_arrival = self.arrivals.next_slot()
+        if (
+            config.slot_skipping
+            and next_arrival is not None
+            and len(pool) == 0
+            and next_arrival > slot
+        ):
+            skipped = next_arrival - slot
+            self._slots_simulated += skipped
+            self._budget_check()
+            # Keep the per-slot aggregates (and, when tracing, the empty
+            # slot traces) identical to the slot-by-slot walk.
+            if self._aggregate:
+                self.recorder.note_matchings(skipped, 0, 0, 0)
+            else:
+                result.matching_sizes.extend([0] * skipped)
+            if self._want_events:
+                for empty in range(slot, next_arrival):
+                    empty_trace = SlotTrace(slot=empty)
+                    if config.record_trace:
+                        result.trace.slots.append(empty_trace)
+                    if self.writer is not None:
+                        self.writer.write(empty_trace)
+            result.last_slot = next_arrival - 1
+            slot = next_arrival
+        self.slot = slot
+
+
 class SimulationEngine:
-    """Runs a :class:`~repro.core.interfaces.Policy` on a packet sequence."""
+    """Runs one or several :class:`~repro.core.interfaces.Policy` objects on a packet sequence."""
 
     def __init__(
         self,
         topology: TwoTierTopology,
-        policy: Policy,
+        policy: Optional[Policy] = None,
         config: Optional[EngineConfig] = None,
         *,
         speed: Optional[float] = None,
@@ -329,9 +542,11 @@ class SimulationEngine:
     ) -> None:
         """Create an engine for ``policy`` on ``topology``.
 
-        ``speed``, ``record_trace``, ``max_slots`` and ``retention`` are
-        keyword shortcuts that override the corresponding
-        :class:`EngineConfig` fields.
+        ``policy`` may be ``None`` for an engine used exclusively through
+        :meth:`run_multi` (which takes its policies per call).  ``speed``,
+        ``record_trace``, ``max_slots`` and ``retention`` are keyword
+        shortcuts that override the corresponding :class:`EngineConfig`
+        fields.
         """
         topology.freeze()
         self.topology = topology
@@ -360,119 +575,135 @@ class SimulationEngine:
         :class:`~repro.exceptions.SimulationError` if the configured slot
         budget is exhausted before every packet is delivered.
         """
-        aggregate = self.config.retention == "aggregate"
-        self.policy.reset()
+        if self.policy is None:
+            raise SimulationError(
+                "this engine was created without a policy; use run_multi() or "
+                "pass a policy to the constructor"
+            )
+        source = self._make_source(packets)  # validates before any file is touched
+        writer = self._make_writer(source)
+        try:
+            lane = self._make_lane(self.policy, source, writer)
+            while not lane.done:
+                lane.step()
+        finally:
+            if writer is not None:
+                writer.close()
+        return lane.result
 
+    def run_multi(
+        self,
+        packets: Iterable[Packet],
+        policies: Mapping[str, Policy],
+    ) -> Dict[str, SimulationResult]:
+        """Run several policies over one shared arrival stream, in a single pass.
+
+        Every arrival batch is materialised (and, in aggregate mode, generated
+        and validated) exactly **once** and fed to one independent simulation
+        lane per policy, so a ``P``-policy evaluation costs one workload
+        generation instead of ``P``.  Lanes share nothing but the (immutable)
+        packets: each policy keeps its own pending-chunk pool, recorder and
+        slot cursor, and the per-policy :class:`SimulationResult` (and its
+        ``summary()``) is bit-identical to a separate :meth:`run` call with
+        the same packets.
+
+        ``policies`` maps display names to *distinct* policy objects (they
+        are reset before the run, exactly as :meth:`run` does).  Results are
+        returned keyed by the same names, in input order.  ``trace_path``
+        would interleave the slot traces of different policies into one file
+        and is therefore only allowed with a single policy.
+        """
+        policies = dict(policies)
+        if not policies:
+            raise SimulationError("run_multi requires at least one policy")
+        if self.config.trace_path is not None and len(policies) > 1:
+            raise SimulationError(
+                "trace_path is only supported for single-policy runs; "
+                "run policies separately to stream their slot traces"
+            )
+        components = [
+            component
+            for policy in policies.values()
+            for component in (policy, policy.dispatcher, policy.scheduler)
+        ]
+        if len({id(component) for component in components}) != len(components):
+            # Lanes are only independent because each policy carries its own
+            # dispatcher/scheduler state; sharing any of the three objects
+            # between names would let interleaved steps corrupt each other
+            # silently.
+            raise SimulationError(
+                "run_multi requires a distinct policy object (with distinct "
+                "dispatcher and scheduler) per name; a shared object was "
+                "passed under several names"
+            )
+        source = self._make_source(packets)  # validates before any file is touched
+        writer = self._make_writer(source)
+        try:
+            buffer = _SharedArrivalBuffer(source)
+            lanes = {
+                name: self._make_lane(policy, buffer.view(), writer)
+                for name, policy in policies.items()
+            }
+            # Round-robin one slot per lane per round: lanes stay roughly in
+            # lockstep, so the shared buffer holds only the narrow window
+            # between the fastest and the slowest lane.
+            active = [lane for lane in lanes.values() if not lane.done]
+            while active:
+                for lane in active:
+                    lane.step()
+                active = [lane for lane in active if not lane.done]
+                buffer.release_before(
+                    min(lane.arrivals.position for lane in lanes.values())
+                )
+        finally:
+            if writer is not None:
+                writer.close()
+        return {name: lane.result for name, lane in lanes.items()}
+
+    # ------------------------------------------------------------------ #
+    # lane plumbing
+    # ------------------------------------------------------------------ #
+    def _make_source(self, packets: Iterable[Packet]) -> _ArrivalSource:
+        """Build the arrival source mandated by the configured retention."""
+        if self.config.retention == "aggregate":
+            return _StreamedArrivals(packets, self.topology)
+        return _BufferedArrivals(self._validate_packets(packets))
+
+    def _make_writer(self, source: _ArrivalSource) -> Optional[SlotTraceWriter]:
+        """Open the streamed-trace writer, but only when a run will happen.
+
+        An empty arrival stream writes no trace file at all (the historical
+        behaviour), and because the source is built — and the input
+        validated — first, an invalid input never truncates an existing
+        trace file either.
+        """
+        if self.config.trace_path is None or source.next_slot() is None:
+            return None
+        return SlotTraceWriter(self.config.trace_path)
+
+    def _make_lane(
+        self,
+        policy: Policy,
+        arrivals: _LaneArrivals,
+        writer: Optional[SlotTraceWriter],
+    ) -> _PolicyLane:
+        """Create one policy's independent simulation lane."""
+        aggregate = self.config.retention == "aggregate"
         result = SimulationResult(
-            policy_name=self.policy.name,
+            policy_name=policy.name,
             topology_name=self.topology.name,
             speed=self.config.speed,
             retention=self.config.retention,
             trace=SimulationTrace() if self.config.record_trace else None,
             aggregates=OnlineSummary() if aggregate else None,
         )
+        recorder: _Recorder
         if aggregate:
-            arrivals: _ArrivalSource = _StreamedArrivals(packets, self.topology)
-            recorder: _Recorder = _AggregateRecorder(result.aggregates)
+            recorder = _AggregateRecorder(result.aggregates)
         else:
-            arrivals = _BufferedArrivals(self._validate_packets(packets))
             recorder = _FullRecorder(result)
-
-        first_slot = arrivals.next_slot()
-        if first_slot is None:
-            return result
-
-        writer = SlotTraceWriter(self.config.trace_path) if self.config.trace_path else None
-        try:
-            self._run_loop(first_slot, arrivals, recorder, result, writer)
-        finally:
-            if writer is not None:
-                writer.close()
-        return result
-
-    def _run_loop(
-        self,
-        slot: int,
-        arrivals: _ArrivalSource,
-        recorder: _Recorder,
-        result: SimulationResult,
-        writer: Optional[SlotTraceWriter],
-    ) -> None:
-        aggregate = self.config.retention == "aggregate"
-        want_events = self.config.record_trace or writer is not None
-        pool = PendingChunkPool()
-        result.first_slot = slot
-        slots_simulated = 0
-
-        while not arrivals.exhausted or len(pool) > 0:
-            slots_simulated += 1
-            if slots_simulated > self.config.max_slots:
-                raise SimulationError(
-                    f"simulation exceeded max_slots={self.config.max_slots} "
-                    f"(arrivals exhausted: {arrivals.exhausted}, {len(pool)} chunks "
-                    f"/ {pool.total_pending_work():.6g} chunk-units of work pending)"
-                )
-            slot_trace = SlotTrace(slot=slot) if want_events else None
-
-            # 1. Pull and dispatch this slot's arrival batch, in input order.
-            for packet in arrivals.pop(slot):
-                self._dispatch_packet(packet, pool, slot, recorder, slot_trace)
-
-            # 2. Ask the scheduler for this slot's matching and transmit it.
-            matching = self.policy.scheduler.select_matching(pool, self.topology, slot)
-            if self.config.validate_matchings:
-                self._validate_matching(matching, pool, slot)
-            size = len(matching)
-            if aggregate:
-                recorder.note_matchings(1, size, size, 1 if size else 0)
-            else:
-                result.matching_sizes.append(size)
-            if slot_trace is not None:
-                slot_trace.matching = [chunk.edge for chunk in matching]
-
-            for chunk in matching:
-                self._transmit_on_edge(chunk, pool, slot, recorder, slot_trace)
-
-            if slot_trace is not None:
-                if self.config.record_trace:
-                    result.trace.slots.append(slot_trace)
-                if writer is not None:
-                    writer.write(slot_trace)
-            result.last_slot = slot
-            slot += 1
-
-            # 3. Fast path: with no pending chunks, no slot can transmit
-            #    anything until the next arrival — jump straight to it.
-            next_arrival = arrivals.next_slot()
-            if (
-                self.config.slot_skipping
-                and next_arrival is not None
-                and len(pool) == 0
-                and next_arrival > slot
-            ):
-                skipped = next_arrival - slot
-                slots_simulated += skipped
-                if slots_simulated > self.config.max_slots:
-                    raise SimulationError(
-                        f"simulation exceeded max_slots={self.config.max_slots} "
-                        f"(arrivals exhausted: {arrivals.exhausted}, {len(pool)} chunks "
-                        f"/ {pool.total_pending_work():.6g} chunk-units of work pending)"
-                    )
-                # Keep the per-slot aggregates (and, when tracing, the empty
-                # slot traces) identical to the slot-by-slot walk.
-                if aggregate:
-                    recorder.note_matchings(skipped, 0, 0, 0)
-                else:
-                    result.matching_sizes.extend([0] * skipped)
-                if want_events:
-                    for empty in range(slot, next_arrival):
-                        empty_trace = SlotTrace(slot=empty)
-                        if self.config.record_trace:
-                            result.trace.slots.append(empty_trace)
-                        if writer is not None:
-                            writer.write(empty_trace)
-                result.last_slot = next_arrival - 1
-                slot = next_arrival
+        policy.reset()
+        return _PolicyLane(self, policy, arrivals, recorder, result, writer)
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -493,13 +724,14 @@ class SimulationEngine:
 
     def _dispatch_packet(
         self,
+        policy: Policy,
         packet: Packet,
         pool: PendingChunkPool,
         slot: int,
         recorder: _Recorder,
         slot_trace: Optional[SlotTrace],
     ) -> None:
-        assignment = self.policy.dispatcher.dispatch(packet, self.topology, pool, slot)
+        assignment = policy.dispatcher.dispatch(packet, self.topology, pool, slot)
         if isinstance(assignment, EdgeAssignment):
             if not self.topology.has_edge(assignment.transmitter, assignment.receiver):
                 raise SimulationError(
@@ -629,3 +861,41 @@ def simulate(
         ),
     )
     return engine.run(packets)
+
+
+def simulate_multi(
+    topology: TwoTierTopology,
+    policies: Mapping[str, Policy],
+    packets: Iterable[Packet],
+    speed: float = 1.0,
+    max_slots: int = 1_000_000,
+    retention: str = "full",
+) -> Dict[str, SimulationResult]:
+    """One-call wrapper around :meth:`SimulationEngine.run_multi`.
+
+    Runs every policy in ``policies`` over a single shared arrival stream —
+    the workload iterable is consumed exactly once — and returns per-policy
+    results (bit-identical to separate :func:`simulate` calls) keyed by the
+    mapping's names.
+
+    Examples
+    --------
+    >>> from repro.baselines import make_fifo_policy
+    >>> from repro.core import OpportunisticLinkScheduler
+    >>> from repro.network import figure1_topology
+    >>> from repro.workloads import figure1_packets
+    >>> results = simulate_multi(
+    ...     figure1_topology(),
+    ...     {"alg": OpportunisticLinkScheduler(), "fifo": make_fifo_policy()},
+    ...     figure1_packets(),
+    ... )
+    >>> sorted(results)
+    ['alg', 'fifo']
+    >>> all(res.all_delivered for res in results.values())
+    True
+    """
+    engine = SimulationEngine(
+        topology,
+        config=EngineConfig(speed=speed, max_slots=max_slots, retention=retention),
+    )
+    return engine.run_multi(packets, policies)

@@ -6,6 +6,14 @@ count) and the original list-returning function, a thin materialising
 wrapper over the iterator.
 """
 
+from repro.workloads.adversarial import (
+    contention_hotspot_workload,
+    heavy_tailed_incast_workload,
+    iter_contention_hotspot_workload,
+    iter_heavy_tailed_incast_workload,
+    iter_priority_inversion_workload,
+    priority_inversion_workload,
+)
 from repro.workloads.arrival import (
     batch_arrivals,
     deterministic_arrivals,
@@ -109,6 +117,12 @@ __all__ = [
     "incast_workload",
     "iter_bursty_workload",
     "iter_incast_workload",
+    "priority_inversion_workload",
+    "contention_hotspot_workload",
+    "heavy_tailed_incast_workload",
+    "iter_priority_inversion_workload",
+    "iter_contention_hotspot_workload",
+    "iter_heavy_tailed_incast_workload",
     "constant_weights",
     "uniform_weights",
     "pareto_weights",

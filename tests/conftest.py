@@ -15,6 +15,23 @@ from repro.network import (
 from repro.workloads import Instance, figure1_instance, uniform_random_workload
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """Register the golden-file regeneration flag (see tests/test_golden_scenarios.py)."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden scenario fingerprints under tests/golden/ "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should regenerate golden files instead of checking them."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def fig1_topology() -> TwoTierTopology:
     """The Figure 1 hybrid topology."""

@@ -192,3 +192,54 @@ class TestSweepCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--experiment", "nope"])
+
+
+class TestScenariosCommand:
+    def test_list_shows_registry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "priority-inversion-burst" in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["scenarios", "list", "--tag", "adversarial"]) == 0
+        out = capsys.readouterr().out
+        assert "laser-hotspot" in out and "zipf-projector" not in out
+
+    def test_list_grid_filter(self, capsys):
+        assert main(["scenarios", "list", "--grid", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-random" in out and "heavy-tailed-incast" not in out
+
+    def test_list_unknown_grid(self, capsys):
+        assert main(["scenarios", "list", "--grid", "nope"]) == 2
+
+    def test_run_smoke_grid(self, capsys):
+        assert main(["scenarios", "run", "--grid", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario grid: smoke" in out and "priority-inversion-burst" in out
+
+    def test_run_modes_and_jobs_agree(self, capsys):
+        assert main(["scenarios", "run", "--scenario", "tiny-random"]) == 0
+        shared = capsys.readouterr().out.splitlines()[1:]  # drop the title line
+        assert main(["scenarios", "run", "--scenario", "tiny-random",
+                     "--mode", "per-policy", "--jobs", "2"]) == 0
+        per_policy = capsys.readouterr().out.splitlines()[1:]
+        assert shared == per_policy
+
+    def test_run_writes_output(self, tmp_path, capsys):
+        path = tmp_path / "rows.jsonl"
+        assert main(["scenarios", "run", "--scenario", "figure1",
+                     "--output", str(path)]) == 0
+        rows = read_jsonl(path)
+        assert {row["policy"] for row in rows} == {"alg", "fifo"}
+
+    def test_run_rejects_grid_and_scenario_together(self, capsys):
+        assert main(["scenarios", "run", "--grid", "smoke",
+                     "--scenario", "figure1"]) == 2
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(["scenarios", "run", "--scenario", "nope"]) == 2
+
+    def test_run_missing_output_dir(self, capsys):
+        assert main(["scenarios", "run", "--scenario", "figure1",
+                     "--output", "/no/such/dir/rows.json"]) == 2

@@ -1,0 +1,328 @@
+"""Differential testing: naive reference loop vs fast path vs run_multi.
+
+Three independently-implemented evaluation paths must agree bit-for-bit on
+every ``summary()`` number:
+
+1. a deliberately *naive* reference simulator defined in this file — a plain
+   slot-by-slot walk (no slot skipping) over a pool with **no** maintained
+   priority index (every query re-sorts a flat list), keeping full per-packet
+   records;
+2. the production engine's fast path (priority-indexed pool, slot skipping,
+   full retention);
+3. ``SimulationEngine.run_multi`` evaluating all policies of a scenario over
+   one shared arrival stream (both retentions).
+
+The scenarios come from the declarative registry, so the harness exercises
+the same cells CI smokes, across every stateful policy (islip pointers,
+seeded random, networkx max-weight matching).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import pytest
+
+from repro.core.packet import Chunk, EdgeAssignment, FixedLinkAssignment, Packet
+from repro.scenarios import Scenario, TopologySpec, WorkloadSpec, get_scenario
+from repro.simulation import EngineConfig, SimulationEngine, simulate
+from repro.simulation.accumulators import compensated_total
+from repro.simulation.engine import _WORK_EPSILON
+from repro.utils.ordering import chunk_priority_key
+
+
+# ---------------------------------------------------------------------- #
+# the naive reference implementation
+# ---------------------------------------------------------------------- #
+class NaiveChunkPool:
+    """A pending-chunk pool with no maintained indexes.
+
+    Duck-types :class:`repro.core.queues.PendingChunkPool` but stores chunks
+    in one flat list and answers every query by scanning (and re-sorting)
+    it.  Horribly slow — which is the point: any divergence between this and
+    the production pool's binary-search-maintained indexes is a bug in the
+    fast structure, not in the test.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: List[Chunk] = []
+
+    # mutation ---------------------------------------------------------- #
+    def add(self, chunk: Chunk) -> None:
+        assert chunk not in self._chunks
+        self._chunks.append(chunk)
+
+    def add_all(self, chunks: Iterable[Chunk]) -> None:
+        for chunk in chunks:
+            self.add(chunk)
+
+    def remove(self, chunk: Chunk) -> None:
+        self._chunks.remove(chunk)
+
+    def debit_work(self, amount: float) -> None:
+        pass  # total_pending_work() recomputes from scratch
+
+    # queries ----------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __contains__(self, chunk: Chunk) -> bool:
+        return chunk in self._chunks
+
+    def __iter__(self):
+        return iter(list(self._chunks))
+
+    def is_empty(self) -> bool:
+        return not self._chunks
+
+    def total_pending_work(self) -> float:
+        return sum(c.remaining_work for c in self._chunks)
+
+    def _sorted(self, predicate) -> List[Chunk]:
+        return sorted((c for c in self._chunks if predicate(c)), key=chunk_priority_key)
+
+    def chunks_on_edge(self, transmitter: str, receiver: str) -> List[Chunk]:
+        return self._sorted(lambda c: c.edge == (transmitter, receiver))
+
+    def chunks_at_transmitter(self, transmitter: str) -> List[Chunk]:
+        return self._sorted(lambda c: c.transmitter == transmitter)
+
+    def chunks_at_receiver(self, receiver: str) -> List[Chunk]:
+        return self._sorted(lambda c: c.receiver == receiver)
+
+    def adjacent_chunks(self, transmitter: str, receiver: str) -> List[Chunk]:
+        return self._sorted(
+            lambda c: c.transmitter == transmitter or c.receiver == receiver
+        )
+
+    def eligible_chunks(self, now: int) -> List[Chunk]:
+        return self._sorted(lambda c: c.eligible_time <= now)
+
+    def busy_transmitters(self) -> Set[str]:
+        return {c.transmitter for c in self._chunks}
+
+    def busy_receivers(self) -> Set[str]:
+        return {c.receiver for c in self._chunks}
+
+    def total_weight(self) -> float:
+        return sum(c.weight for c in self._chunks)
+
+    def weight_at_transmitter(self, transmitter: str) -> float:
+        return sum(c.weight for c in self._chunks if c.transmitter == transmitter)
+
+    def weight_at_receiver(self, receiver: str) -> float:
+        return sum(c.weight for c in self._chunks if c.receiver == receiver)
+
+
+def naive_simulate(topology, policy, packets: List[Packet], speed: float = 1.0,
+                   slot_limit: int = 100_000) -> Dict[str, float]:
+    """Slot-by-slot reference simulation; returns a ``summary()``-shaped dict.
+
+    Replicates the engine's cost model operation-for-operation (same float
+    expressions in the same order) but shares none of its machinery: no
+    arrival sources, no recorders, no slot skipping, no indexed pool.
+    """
+    policy.reset()
+    pool = NaiveChunkPool()
+    by_slot: Dict[int, List[Packet]] = {}
+    for packet in packets:
+        by_slot.setdefault(packet.arrival, []).append(packet)
+    remaining_slots = sorted(by_slot)
+
+    # per-packet state, in dispatch order
+    latencies: List[float] = []          # accumulated weighted latency per packet
+    fixed_flags: List[bool] = []
+    undelivered: Dict[int, int] = {}     # packet id -> chunks still in flight
+    index_of: Dict[int, int] = {}        # packet id -> dispatch index
+    matching_sizes: List[int] = []
+
+    if not packets:
+        return {
+            "num_packets": 0.0,
+            "total_weighted_latency": 0.0,
+            "mean_weighted_latency": 0.0,
+            "num_slots": 0.0,
+            "fixed_link_fraction": 0.0,
+            "mean_matching_size": 0.0,
+        }
+
+    slot = remaining_slots[0]
+    first_slot = slot
+    last_slot = slot
+    steps = 0
+    while remaining_slots or len(pool) > 0:
+        steps += 1
+        assert steps <= slot_limit, "naive reference exceeded its slot limit"
+
+        # dispatch this slot's arrivals in input order
+        if remaining_slots and remaining_slots[0] == slot:
+            for packet in by_slot[remaining_slots.pop(0)]:
+                assignment = policy.dispatcher.dispatch(packet, topology, pool, slot)
+                index_of[packet.packet_id] = len(latencies)
+                if isinstance(assignment, FixedLinkAssignment):
+                    latencies.append(assignment.weighted_latency)
+                    fixed_flags.append(True)
+                else:
+                    assert isinstance(assignment, EdgeAssignment)
+                    latencies.append(0.0)
+                    fixed_flags.append(False)
+                    undelivered[packet.packet_id] = len(assignment.chunks)
+                    pool.add_all(assignment.chunks)
+
+        # select and transmit one matching, mirroring the engine's cost model
+        matching = policy.scheduler.select_matching(pool, topology, slot)
+        matching_sizes.append(len(matching))
+        for head in matching:
+            budget = speed
+            queue = [head] + [
+                c
+                for c in pool.chunks_on_edge(*head.edge)
+                if c is not head and c.eligible_time <= slot
+            ]
+            for chunk in queue:
+                if budget <= _WORK_EPSILON:
+                    break
+                amount = min(budget, chunk.remaining_work)
+                if amount <= 0:
+                    continue
+                budget -= amount
+                chunk.remaining_work -= amount
+                completed = chunk.remaining_work <= _WORK_EPSILON
+                if completed:
+                    chunk.remaining_work = 0.0
+                    chunk.delivery_time = slot + 1 + chunk.tail_delay
+                    pool.remove(chunk)
+                packet = chunk.packet
+                fraction = amount * chunk.size
+                delivery_time = slot + 1 + chunk.tail_delay
+                latencies[index_of[packet.packet_id]] += (
+                    fraction * packet.weight * (delivery_time - packet.arrival)
+                )
+                if completed:
+                    undelivered[packet.packet_id] -= 1
+                    if undelivered[packet.packet_id] == 0:
+                        del undelivered[packet.packet_id]
+        last_slot = slot
+        slot += 1
+
+    assert not undelivered, "naive reference left packets undelivered"
+    n = len(latencies)
+    total = compensated_total(latencies)
+    return {
+        "num_packets": float(n),
+        "total_weighted_latency": total,
+        "mean_weighted_latency": total / n,
+        "num_slots": float(last_slot - first_slot + 1),
+        "fixed_link_fraction": sum(fixed_flags) / n,
+        "mean_matching_size": sum(matching_sizes) / len(matching_sizes),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# the differential scenarios
+# ---------------------------------------------------------------------- #
+def _differential_scenarios() -> List[Tuple[Scenario, int]]:
+    """Registry smoke cells plus extra seeded-random shapes defined inline."""
+    cells: List[Tuple[Scenario, int]] = []
+    for name in ("figure1", "tiny-random", "priority-inversion-burst"):
+        scenario = get_scenario(name)
+        for seed in scenario.seeds:
+            cells.append((scenario, seed))
+    # An ad-hoc cell with every stateful policy on skewed hybrid traffic.
+    cells.append((
+        Scenario(
+            name="diff-zipf-hybrid",
+            description="differential-only: zipf on a hybrid projector fabric",
+            topology=TopologySpec(
+                "projector",
+                {"num_racks": 4, "lasers_per_rack": 2, "photodetectors_per_rack": 2},
+                fixed_link_delay=3,
+            ),
+            workload=WorkloadSpec(
+                "zipf", {"num_packets": 40, "exponent": 1.2, "arrival_rate": 2.0},
+                weights=("pareto", 1.5),
+            ),
+            policies=("alg", "random", "maxweight", "islip", "direct-first"),
+        ),
+        7,
+    ))
+    # Heterogeneous delays: multi-chunk packets exercise fractional work.
+    cells.append((
+        Scenario(
+            name="diff-delays",
+            description="differential-only: heterogeneous edge delays, speed tested at 1.7",
+            topology=TopologySpec(
+                "random-bipartite",
+                {"num_sources": 3, "num_destinations": 3,
+                 "transmitters_per_source": 2, "receivers_per_destination": 2,
+                 "edge_probability": 0.7, "delay_choices": (1, 2, 4)},
+            ),
+            workload=WorkloadSpec(
+                "uniform", {"num_packets": 30, "arrival_rate": 1.5},
+                weights=("uniform", 1, 10),
+            ),
+            policies=("alg", "fifo", "least-loaded+stable", "impact+fifo"),
+            speed=1.7,
+        ),
+        11,
+    ))
+    return cells
+
+
+_CELLS = _differential_scenarios()
+_CELL_IDS = [f"{scenario.name}-s{seed}" for scenario, seed in _CELLS]
+
+
+@pytest.mark.parametrize("scenario,seed", _CELLS, ids=_CELL_IDS)
+def test_naive_vs_fast_vs_run_multi(scenario: Scenario, seed: int) -> None:
+    """All three evaluation paths agree bit-for-bit on every summary number."""
+    topology, stream, policies = scenario.materialise(seed)
+    packets = list(stream)
+
+    # Path 1: the naive reference loop (fresh policy state per run).
+    naive = {
+        name: naive_simulate(topology, policy, packets, speed=scenario.speed)
+        for name, policy in policies.items()
+    }
+
+    # Path 2: the production fast path, one policy at a time.
+    fast = {
+        name: simulate(topology, policy, packets, speed=scenario.speed).summary()
+        for name, policy in policies.items()
+    }
+
+    # Path 3: one shared-stream multi-policy pass (both retentions).
+    engine = SimulationEngine(
+        topology, config=EngineConfig(speed=scenario.speed)
+    )
+    multi = {
+        name: result.summary()
+        for name, result in engine.run_multi(packets, policies).items()
+    }
+    agg_engine = SimulationEngine(
+        topology, config=EngineConfig(speed=scenario.speed, retention="aggregate")
+    )
+    multi_agg = {
+        name: result.summary()
+        for name, result in agg_engine.run_multi(iter(packets), policies).items()
+    }
+
+    for name in policies:
+        assert naive[name] == fast[name], (
+            f"{scenario.name}/{name}: naive reference vs fast path diverged\n"
+            f"naive: {naive[name]}\nfast:  {fast[name]}"
+        )
+        assert fast[name] == multi[name], (
+            f"{scenario.name}/{name}: fast path vs run_multi diverged"
+        )
+        assert fast[name] == multi_agg[name], (
+            f"{scenario.name}/{name}: fast path vs aggregate run_multi diverged"
+        )
+
+
+def test_naive_pool_is_really_naive() -> None:
+    """Guard: the reference pool must not share the production pool's code."""
+    from repro.core.queues import PendingChunkPool
+
+    assert not issubclass(NaiveChunkPool, PendingChunkPool)
+    assert not hasattr(NaiveChunkPool, "_by_edge")

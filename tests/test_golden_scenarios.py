@@ -1,0 +1,86 @@
+"""Golden regression tests for the scenario registry.
+
+Every scenario of the ``smoke`` grid (plus the deterministic worked
+examples) has its per-policy ``summary()`` rows committed under
+``tests/golden/scenarios.json`` at full float precision.  Any change to the
+engine's cost accounting, a workload generator's RNG stream, a policy's
+decision rule or the scenario recipes themselves shows up here as an exact
+diff.
+
+When a change is *intentional*, regenerate the fingerprints with::
+
+    pytest tests/test_golden_scenarios.py --update-golden
+
+and commit the rewritten JSON together with the change (and a CHANGES.md
+note — seed-stability is part of the library's contract).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.scenarios import scenario_matrix
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "scenarios.json"
+
+#: Scenarios pinned by golden fingerprints: the CI smoke grid plus the
+#: deterministic worked examples.  Full-size scenarios are excluded on
+#: purpose — goldens must stay fast enough to run on every push.
+GOLDEN_SCENARIOS = ("figure1", "figure2", "tiny-random", "priority-inversion-burst")
+
+
+def _current_rows() -> Dict[str, List[Dict[str, Any]]]:
+    """Run the golden scenarios serially and bucket their rows by scenario."""
+    rows = scenario_matrix(GOLDEN_SCENARIOS, name="golden").run()
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+    return by_scenario
+
+
+def test_scenario_summaries_match_golden(update_golden: bool) -> None:
+    """Scenario rows are bit-identical to the committed fingerprints."""
+    current = _current_rows()
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"rewrote {GOLDEN_PATH}")
+    assert GOLDEN_PATH.is_file(), (
+        f"{GOLDEN_PATH} is missing; generate it with "
+        "`pytest tests/test_golden_scenarios.py --update-golden`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden) == sorted(current), (
+        "golden scenario set changed; rerun with --update-golden"
+    )
+    for name in sorted(current):
+        # Compare row-by-row so a drift names the exact (seed, policy) cell.
+        assert len(golden[name]) == len(current[name]), name
+        for expected, actual in zip(golden[name], current[name]):
+            assert expected == actual, (
+                f"scenario {name!r} drifted from its golden fingerprint\n"
+                f"expected: {expected}\nactual:   {actual}\n"
+                "If intentional, regenerate with --update-golden and note the "
+                "seed break in CHANGES.md."
+            )
+
+
+def test_golden_file_is_canonically_serialised() -> None:
+    """Guard: the golden file is exactly what --update-golden would write.
+
+    Catches hand edits, formatter rewrites or value rounding: the file text
+    must equal the canonical re-dump of its own parsed content, byte for
+    byte (full repr float precision, sorted keys, two-space indent).
+    """
+    if not GOLDEN_PATH.is_file():
+        pytest.skip("golden file not generated yet")
+    text = GOLDEN_PATH.read_text()
+    canonical = json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+    assert text == canonical, (
+        f"{GOLDEN_PATH} is not in canonical --update-golden form; regenerate "
+        "it instead of editing by hand"
+    )

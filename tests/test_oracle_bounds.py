@@ -1,0 +1,128 @@
+"""Brute-force oracle bounds on tiny scenarios.
+
+On instances small enough for :func:`repro.baselines.brute_force_optimal`
+(≤ 6 packets, few route combinations) two ground truths must hold:
+
+* **optimality floor** — the exhaustive offline optimum is a lower bound on
+  every integral non-migratory schedule, so *every* policy's total weighted
+  latency at speed 1 must be ≥ the brute-force cost;
+* **Theorem 1** — ALG's empirically measured competitive ratio against the
+  LP lower bound (capacity ``1/(2+ε)``) must respect the paper's
+  speed-augmented bound ``2·(2/ε + 1)``.
+
+The tiny instances are expressed as declarative :class:`Scenario` objects so
+the oracle exercises the same materialisation path as the scenario matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.analysis import evaluate_competitive_ratio
+from repro.baselines import brute_force_optimal
+from repro.scenarios import Scenario, TopologySpec, WorkloadSpec, get_scenario
+from repro.simulation import simulate
+from repro.workloads import Instance
+
+#: Every registered policy runs against the oracle.
+_ALL_POLICIES = (
+    "alg",
+    "fifo",
+    "random",
+    "maxweight",
+    "islip",
+    "shortest-path",
+    "least-loaded+stable",
+    "impact+fifo",
+    "direct-first",
+)
+
+_TINY_TOPOLOGY = TopologySpec(
+    "random-bipartite",
+    {
+        "num_sources": 2,
+        "num_destinations": 2,
+        "transmitters_per_source": 1,
+        "receivers_per_destination": 1,
+        "edge_probability": 0.5,
+        "delay_choices": (1, 2),
+    },
+    fixed_link_delay=5,
+)
+
+
+def _tiny_cells() -> List[Tuple[Scenario, int]]:
+    cells: List[Tuple[Scenario, int]] = [
+        (get_scenario("figure1"), 0),
+        (get_scenario("figure2"), 0),
+    ]
+    for seed in (0, 1, 2):
+        cells.append(
+            (
+                Scenario(
+                    name="oracle-tiny",
+                    description="oracle-only: 6 packets on a 2x2 hybrid fabric",
+                    topology=_TINY_TOPOLOGY,
+                    workload=WorkloadSpec(
+                        "uniform",
+                        {"num_packets": 6, "arrival_rate": 1.0},
+                        weights=("uniform", 1, 5),
+                    ),
+                    policies=_ALL_POLICIES,
+                ),
+                seed,
+            )
+        )
+    return cells
+
+
+_CELLS = _tiny_cells()
+_CELL_IDS = [f"{scenario.name}-s{seed}" for scenario, seed in _CELLS]
+
+
+def _materialise_instance(scenario: Scenario, seed: int) -> Tuple[Instance, dict]:
+    topology, stream, policies = scenario.materialise(seed)
+    packets = list(stream)
+    assert len(packets) <= 6, "oracle instances must stay brute-forceable"
+    instance = Instance(
+        name=f"{scenario.name}-s{seed}", topology=topology, packets=packets
+    )
+    return instance, policies
+
+
+@pytest.mark.parametrize("scenario,seed", _CELLS, ids=_CELL_IDS)
+def test_every_policy_respects_the_offline_optimum(scenario: Scenario, seed: int) -> None:
+    """No online policy may beat the exhaustive offline optimum at speed 1."""
+    instance, policies = _materialise_instance(scenario, seed)
+    optimum = brute_force_optimal(instance, max_total_chunks=20)
+    assert optimum.cost > 0
+    for name, policy in policies.items():
+        result = simulate(instance.topology, policy, instance.packets)
+        assert result.all_delivered, f"{name} left packets undelivered"
+        assert result.total_weighted_latency >= optimum.cost - 1e-9, (
+            f"policy {name!r} scored {result.total_weighted_latency} on "
+            f"{instance.name}, below the offline optimum {optimum.cost} — "
+            "either the oracle or the engine's cost accounting is wrong"
+        )
+
+
+@pytest.mark.parametrize("scenario,seed", _CELLS, ids=_CELL_IDS)
+@pytest.mark.parametrize("epsilon", [1.0, 2.0])
+def test_alg_respects_theorem1_on_tiny_instances(
+    scenario: Scenario, seed: int, epsilon: float
+) -> None:
+    """ALG's empirical ratio stays within the speed-augmented Theorem 1 bound."""
+    instance, _policies = _materialise_instance(scenario, seed)
+    report = evaluate_competitive_ratio(instance, epsilon, use_lp=True)
+    assert report.within_bound, (
+        f"{instance.name}: empirical ratio {report.empirical_ratio:.3f} exceeds "
+        f"the Theorem 1 bound {report.theoretical_bound:.3f} at epsilon={epsilon}"
+    )
+
+
+def test_brute_force_matches_figure1_reported_optimum() -> None:
+    """The oracle itself reproduces the paper's stated optimal cost of 7."""
+    instance, _ = _materialise_instance(get_scenario("figure1"), 0)
+    assert brute_force_optimal(instance).cost == pytest.approx(7.0)

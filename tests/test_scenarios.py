@@ -1,0 +1,296 @@
+"""Unit tests for the scenario registry, specs and matrix plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError, SimulationError
+from repro.network import projector_fabric
+from repro.scenarios import (
+    GRIDS,
+    Scenario,
+    ScenarioMatrix,
+    TopologySpec,
+    WorkloadSpec,
+    get_scenario,
+    grid_matrix,
+    grid_names,
+    list_scenarios,
+    resolve_policies,
+    resolve_weight_sampler,
+    scenario_matrix,
+    scenario_names,
+)
+from repro.simulation import EngineConfig, SimulationEngine
+from repro.utils.rng import as_rng
+from repro.workloads import (
+    contention_hotspot_workload,
+    heavy_tailed_incast_workload,
+    iter_contention_hotspot_workload,
+    iter_heavy_tailed_incast_workload,
+    iter_priority_inversion_workload,
+    priority_inversion_workload,
+)
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+class TestRegistry:
+    def test_every_grid_names_registered_scenarios(self):
+        names = set(scenario_names())
+        for grid, members in GRIDS.items():
+            missing = set(members) - names
+            assert not missing, f"grid {grid!r} references unknown scenarios {missing}"
+
+    def test_full_grid_contains_every_scenario(self):
+        assert {s.name for s in grid_matrix("full").scenarios} == set(scenario_names())
+
+    def test_unknown_scenario_and_grid_raise(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+        with pytest.raises(ScenarioError, match="unknown grid"):
+            grid_matrix("no-such-grid")
+
+    def test_tag_filter(self):
+        adversarial = list_scenarios(tag="adversarial")
+        assert adversarial and all("adversarial" in s.tags for s in adversarial)
+        assert list_scenarios(tag="no-such-tag") == []
+
+    def test_grid_names_include_implicit_full(self):
+        assert "full" in grid_names()
+        assert set(GRIDS) < set(grid_names())
+
+    def test_duplicate_scenario_in_matrix_rejected(self):
+        fig1 = get_scenario("figure1")
+        with pytest.raises(ScenarioError, match="twice"):
+            ScenarioMatrix(name="dup", scenarios=(fig1, fig1))
+
+
+# ---------------------------------------------------------------------- #
+# specs
+# ---------------------------------------------------------------------- #
+class TestSpecs:
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ScenarioError, match="topology kind"):
+            TopologySpec("moebius")
+        with pytest.raises(ScenarioError, match="workload kind"):
+            WorkloadSpec("antigravity")
+
+    def test_weight_sampler_specs(self):
+        rng = as_rng(0)
+        assert resolve_weight_sampler(None) is None
+        sampler = resolve_weight_sampler(("uniform", 1, 10))
+        assert 1 <= sampler(rng) <= 10
+        with pytest.raises(ScenarioError, match="weight spec"):
+            resolve_weight_sampler(("gaussian", 0, 1))
+
+    def test_fixed_link_delay_builds_hybrid(self):
+        spec = TopologySpec(
+            "projector", {"num_racks": 3, "lasers_per_rack": 1,
+                          "photodetectors_per_rack": 1},
+            fixed_link_delay=4,
+        )
+        topo = spec.build(seed=1)
+        assert topo.fixed_links, "hybrid spec produced no fixed links"
+        assert all(
+            s.split(":")[0] != d.split(":")[0] for (s, d) in topo.fixed_links
+        ), "fixed links must be cross-rack only"
+
+    def test_topology_build_is_seed_deterministic(self):
+        spec = TopologySpec(
+            "random-bipartite",
+            {"num_sources": 3, "num_destinations": 3, "edge_probability": 0.5},
+        )
+        assert (
+            spec.build(seed=9).reconfigurable_edges
+            == spec.build(seed=9).reconfigurable_edges
+        )
+
+    def test_resolve_policies_validates_names(self):
+        policies = resolve_policies(("alg", "direct-first"), seed=1)
+        assert list(policies) == ["alg", "direct-first"]
+        with pytest.raises(ScenarioError, match="unknown policies"):
+            resolve_policies(("alg", "quantum"), seed=1)
+
+    def test_scenario_validation(self):
+        fig1 = get_scenario("figure1")
+        with pytest.raises(ScenarioError, match="no policies"):
+            Scenario(name="x", description="", topology=fig1.topology,
+                     workload=fig1.workload, policies=())
+        with pytest.raises(ScenarioError, match="no seeds"):
+            Scenario(name="x", description="", topology=fig1.topology,
+                     workload=fig1.workload, seeds=())
+
+
+# ---------------------------------------------------------------------- #
+# matrix semantics
+# ---------------------------------------------------------------------- #
+class TestMatrix:
+    def test_counts(self):
+        matrix = grid_matrix("smoke")
+        assert matrix.num_cells == len(matrix.cells())
+        assert matrix.num_runs == sum(
+            len(s.policies) * len(s.seeds) for s in matrix.scenarios
+        )
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ScenarioError, match="mode"):
+            grid_matrix("smoke").to_experiment_spec(mode="telepathic")
+
+    def test_rows_are_grid_composition_invariant(self):
+        """A scenario's rows do not depend on which matrix runs it."""
+        alone = scenario_matrix(["tiny-random"], name="solo").run()
+        with_others = grid_matrix("smoke").run()
+        subset = [row for row in with_others if row["scenario"] == "tiny-random"]
+        assert alone == subset
+
+    def test_rows_serialise_to_json(self, tmp_path):
+        path = tmp_path / "rows.json"
+        rows = scenario_matrix(["figure1"], name="io").run(output_path=str(path))
+        document = json.loads(path.read_text())
+        assert document["rows"] == rows
+
+
+# ---------------------------------------------------------------------- #
+# run_multi guard rails
+# ---------------------------------------------------------------------- #
+class TestRunMultiGuards:
+    def test_empty_policy_mapping_rejected(self):
+        topo = projector_fabric(num_racks=2, seed=0)
+        engine = SimulationEngine(topo)
+        with pytest.raises(SimulationError, match="at least one policy"):
+            engine.run_multi([], {})
+
+    def test_policyless_engine_cannot_run_single(self):
+        topo = projector_fabric(num_racks=2, seed=0)
+        with pytest.raises(SimulationError, match="without a policy"):
+            SimulationEngine(topo).run([])
+
+    def test_trace_path_restricted_to_single_policy(self, tmp_path):
+        topo = projector_fabric(num_racks=2, seed=0)
+        engine = SimulationEngine(
+            topo, config=EngineConfig(trace_path=str(tmp_path / "t.jsonl"))
+        )
+        policies = resolve_policies(("alg", "fifo"), seed=0)
+        with pytest.raises(SimulationError, match="single-policy"):
+            engine.run_multi([], policies)
+        # One policy is fine.
+        only_alg = resolve_policies(("alg",), seed=0)
+        results = engine.run_multi([], only_alg)
+        assert list(results) == ["alg"]
+
+    def test_same_policy_object_under_two_names_rejected(self):
+        topo = projector_fabric(num_racks=2, seed=0)
+        policy = resolve_policies(("islip",), seed=0)["islip"]
+        with pytest.raises(SimulationError, match="distinct policy object"):
+            SimulationEngine(topo).run_multi([], {"a": policy, "b": policy})
+
+    def test_shared_scheduler_component_rejected(self):
+        from repro.baselines.schedulers import ISLIPScheduler
+        from repro.core.dispatcher import ImpactDispatcher
+        from repro.core.interfaces import Policy
+
+        topo = projector_fabric(num_racks=2, seed=0)
+        shared = ISLIPScheduler()  # stateful round-robin pointers
+        policies = {
+            "a": Policy("a", ImpactDispatcher(), shared),
+            "b": Policy("b", ImpactDispatcher(), shared),
+        }
+        with pytest.raises(SimulationError, match="shared object"):
+            SimulationEngine(topo).run_multi([], policies)
+
+    def test_invalid_input_does_not_truncate_existing_trace(self, tmp_path):
+        from repro.core.packet import Packet
+
+        trace = tmp_path / "slots.jsonl"
+        trace.write_text('{"slot": 1}\n')
+        topo = projector_fabric(num_racks=2, seed=0)
+        policy = resolve_policies(("alg",), seed=0)["alg"]
+        engine = SimulationEngine(
+            topo, policy, config=EngineConfig(trace_path=str(trace))
+        )
+        duplicate = Packet(packet_id=0, source="rack0:src",
+                           destination="rack1:dst", weight=1.0, arrival=1)
+        with pytest.raises(SimulationError, match="duplicate"):
+            engine.run([duplicate, duplicate])
+        assert trace.read_text() == '{"slot": 1}\n', (
+            "invalid input must not clobber a pre-existing trace file"
+        )
+        # An empty stream writes no trace file at all (historical behaviour).
+        empty_trace = tmp_path / "empty.jsonl"
+        empty_engine = SimulationEngine(
+            topo, policy, config=EngineConfig(trace_path=str(empty_trace))
+        )
+        empty_engine.run([])
+        assert not empty_trace.exists()
+
+
+# ---------------------------------------------------------------------- #
+# adversarial generators
+# ---------------------------------------------------------------------- #
+class TestAdversarialGenerators:
+    @pytest.fixture
+    def fabric(self):
+        return projector_fabric(
+            num_racks=4, lasers_per_rack=2, photodetectors_per_rack=2, seed=3
+        )
+
+    def test_iter_and_list_forms_agree(self, fabric):
+        for iter_fn, list_fn, args in (
+            (iter_priority_inversion_workload, priority_inversion_workload, (4,)),
+            (iter_contention_hotspot_workload, contention_hotspot_workload, (30,)),
+            (iter_heavy_tailed_incast_workload, heavy_tailed_incast_workload, (3,)),
+        ):
+            lazy = list(iter_fn(fabric, *args, seed=11))
+            eager = list_fn(fabric, *args, seed=11)
+            assert lazy == eager
+
+    def test_priority_inversion_shape(self, fabric):
+        packets = priority_inversion_workload(
+            fabric, 3, light_per_burst=4, heavy_per_burst=2,
+            light_weight=(1.0, 1.0), heavy_weight=(100.0, 100.0),
+            burst_gap=10, seed=5,
+        )
+        assert len(packets) == 3 * 6
+        for burst in range(3):
+            chunk = packets[burst * 6:(burst + 1) * 6]
+            light, heavy = chunk[:4], chunk[4:]
+            assert {p.destination for p in chunk} == {light[0].destination}
+            assert all(p.weight == 1.0 for p in light)
+            assert all(p.weight == 100.0 for p in heavy)
+            # heavy wave lands exactly one slot after the light wave
+            assert {p.arrival for p in heavy} == {light[0].arrival + 1}
+
+    @pytest.mark.parametrize("side,attr", [("transmitter", "source"),
+                                           ("receiver", "destination")])
+    def test_contention_hotspot_concentrates_traffic(self, fabric, side, attr):
+        packets = contention_hotspot_workload(
+            fabric, 80, side=side, hot_fraction=0.9, seed=7
+        )
+        counts: dict = {}
+        for p in packets:
+            counts[getattr(p, attr)] = counts.get(getattr(p, attr), 0) + 1
+        assert max(counts.values()) >= 0.7 * len(packets), (
+            f"hotspot on {side} side did not concentrate traffic: {counts}"
+        )
+
+    def test_heavy_tailed_incast_targets_one_destination(self, fabric):
+        packets = heavy_tailed_incast_workload(
+            fabric, 4, senders_per_wave=3, packets_per_sender=2, seed=9
+        )
+        assert len({p.destination for p in packets}) == 1
+        arrivals = sorted({p.arrival for p in packets})
+        assert arrivals == [1, 7, 13, 19]  # wave_gap=6 default
+
+    def test_parameter_validation(self, fabric):
+        with pytest.raises(Exception, match="burst_gap"):
+            priority_inversion_workload(fabric, 2, burst_gap=1)
+        with pytest.raises(Exception, match="side"):
+            contention_hotspot_workload(fabric, 10, side="diagonal")
+        with pytest.raises(Exception, match="hot_fraction"):
+            contention_hotspot_workload(fabric, 10, hot_fraction=0.0)
+        with pytest.raises(Exception, match="pareto_exponent"):
+            heavy_tailed_incast_workload(fabric, 2, pareto_exponent=1.0)
