@@ -17,7 +17,10 @@ The package provides:
 * :mod:`repro.scenarios` — the declarative scenario matrix: named
   topology × workload × policy × seed grids (including adversarial
   charging-argument stressors) evaluated through the engine's single-pass
-  multi-policy path.
+  multi-policy path;
+* :mod:`repro.search` — automated adversarial scenario search: a
+  deterministic evolutionary loop over the scenario parameter space that
+  hunts ALG's empirical worst cases (``repro search run``).
 
 Quickstart
 ----------

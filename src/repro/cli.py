@@ -41,6 +41,18 @@ without writing Python:
     cell generates its workload once instead of P times.  Rows are identical
     for any ``--jobs``, ``--mode`` and ``--retention``.
 
+``python -m repro.cli search run --budget smoke --jobs 4``
+    Hunt ALG's empirical worst cases: a deterministic evolutionary search
+    over a scenario parameter space (``repro.search``), maximising ALG's
+    cost ratio against the best baseline (``--objective empirical``) or the
+    exact brute-force optimum on tiny cells (``--objective brute-force``).
+    Candidates are evaluated in parallel over ``--jobs`` workers; the
+    hall-of-fame archive is bit-identical for any ``--jobs`` value and
+    across ``--checkpoint``/``resume``.  ``search list`` shows the named
+    spaces, objectives and budgets; ``search report`` pretty-prints a
+    checkpoint; ``search resume`` continues one (optionally with
+    ``--generations`` extended).
+
 Every generating subcommand accepts ``--seed`` and prints deterministic
 output for a fixed seed (``scenarios`` takes its seeds from the registry's
 declarative cells instead); sweep and scenario output is identical for any
@@ -93,6 +105,9 @@ __all__ = ["main", "build_parser"]
 
 _WORKLOADS = ("uniform", "zipf", "elephant-mice", "hotspot", "bursty", "incast")
 _SWEEPS = ("competitive", "speedup", "delays", "hybrid", "tiers")
+#: Mirrors repro.search.BUDGETS (kept literal so building the parser does not
+#: import the search subsystem; a regression test pins the two in sync).
+_SEARCH_BUDGETS = ("smoke", "default", "full")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -235,6 +250,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the rows to this path (.json document or streamed .jsonl)",
     )
     scen_run.set_defaults(func=cmd_scenarios_run)
+
+    search = sub.add_parser(
+        "search", help="adversarial scenario search (hunt ALG's empirical worst cases)"
+    )
+    search_sub = search.add_subparsers(dest="search_command", required=True)
+
+    search_list = search_sub.add_parser(
+        "list", help="show the named search spaces, objectives and budgets"
+    )
+    search_list.set_defaults(func=cmd_search_list)
+
+    search_run = search_sub.add_parser(
+        "run", help="run an adversarial search and print its hall of fame"
+    )
+    search_run.add_argument(
+        "--space", default=None,
+        help="parameter space to search (default: 'adversarial' for the "
+        "empirical objective, 'tiny' for brute-force)",
+    )
+    search_run.add_argument(
+        "--objective", choices=("empirical", "brute-force"), default="empirical",
+        help="'empirical' scores ALG vs the best baseline via shared-stream "
+        "run_multi cells; 'brute-force' scores ALG vs the exact offline "
+        "optimum on tiny cells",
+    )
+    search_run.add_argument(
+        "--budget", choices=sorted(_SEARCH_BUDGETS), default="smoke",
+        help="named (population, generations) preset",
+    )
+    search_run.add_argument(
+        "--generations", type=int, default=None, help="override the budget's generations"
+    )
+    search_run.add_argument(
+        "--population", type=int, default=None, help="override the budget's population size"
+    )
+    search_run.add_argument("--seed", type=int, default=0, help="search root seed")
+    search_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for candidate evaluation (archive identical for any value)",
+    )
+    search_run.add_argument(
+        "--chunksize", type=int, default=1,
+        help="candidates streamed to a worker per dispatch (jobs > 1)",
+    )
+    search_run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write generational JSONL state to PATH (resumable with 'search resume')",
+    )
+    search_run.add_argument(
+        "--output", default=None,
+        help="also write the hall-of-fame rows to this path (.json or .jsonl)",
+    )
+    search_run.set_defaults(func=cmd_search_run)
+
+    search_resume = search_sub.add_parser(
+        "resume", help="continue a checkpointed search (bit-identical to an unbroken run)"
+    )
+    search_resume.add_argument("--checkpoint", required=True, metavar="PATH")
+    search_resume.add_argument(
+        "--generations", type=int, default=None,
+        help="extend the total generation budget (default: the checkpointed one)",
+    )
+    search_resume.add_argument(
+        "--jobs", type=int, default=None,
+        help="override the checkpointed jobs count (never affects results)",
+    )
+    search_resume.set_defaults(func=cmd_search_resume)
+
+    search_report = search_sub.add_parser(
+        "report", help="pretty-print a search checkpoint (progress + hall of fame)"
+    )
+    search_report.add_argument("--checkpoint", required=True, metavar="PATH")
+    search_report.set_defaults(func=cmd_search_report)
     return parser
 
 
@@ -564,6 +652,174 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
     )
     if args.output is not None:
         print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+def _hall_of_fame_table(entries, title: str) -> str:
+    """Render hall-of-fame entries as a table (best first)."""
+    rows = [
+        [
+            rank + 1,
+            f"{entry.score:.6f}",
+            f"{entry.mean_ratio:.6f}",
+            entry.params.get("kind", "?"),
+            entry.params.get("speed", "?"),
+            entry.scenario_name,
+        ]
+        for rank, entry in enumerate(entries)
+    ]
+    return format_table(
+        ["rank", "score (min ratio)", "mean ratio", "kind", "speed", "scenario"],
+        rows,
+        title=title,
+    )
+
+
+def _print_search_result(result, jobs: int) -> None:
+    history = ", ".join(f"{score:.6f}" for score in result.best_history)
+    print(
+        f"ran {result.generations_run} generations, {result.evaluations} distinct "
+        f"candidates evaluated (jobs={jobs})"
+        + (" — stopped early on stagnation" if result.stopped_early else "")
+    )
+    print(f"best score per generation: {history}")
+    print()
+    print(_hall_of_fame_table(result.hall_of_fame, title="hall of fame"))
+
+
+def _write_hall_of_fame(entries, output: str) -> None:
+    rows = [entry.to_json() for entry in entries]
+    if output.endswith(".jsonl"):
+        path = write_jsonl(rows, output)
+    else:
+        path = write_json(rows, output)
+    print(f"wrote {len(rows)} hall-of-fame rows to {path}")
+
+
+def cmd_search_list(_args: argparse.Namespace) -> int:
+    """Print the registered search spaces, objectives and budget presets."""
+    from repro.search import BUDGETS, get_space, space_names
+
+    space_rows = []
+    for name in space_names():
+        space = get_space(name)
+        space_rows.append(
+            [name, space.builder, len(space.knobs),
+             ", ".join(k.name for k in space.knobs)]
+        )
+    print(format_table(["space", "builder", "knobs", "knob names"], space_rows,
+                       title="search spaces"))
+    print()
+    objective_rows = [
+        ["empirical", "ALG cost / best baseline cost (shared-stream run_multi)"],
+        ["brute-force", "ALG cost / exact offline optimum (tiny cells only)"],
+    ]
+    print(format_table(["objective", "measures"], objective_rows, title="objectives"))
+    print()
+    budget_rows = [
+        [name, config.population_size, config.generations,
+         config.hall_of_fame_size, config.stagnation_limit or "off"]
+        for name, config in sorted(BUDGETS.items())
+    ]
+    print(format_table(
+        ["budget", "population", "generations", "hall of fame", "stagnation"],
+        budget_rows, title="budgets",
+    ))
+    return 0
+
+
+def cmd_search_run(args: argparse.Namespace) -> int:
+    """Run an adversarial search and print (optionally persist) its archive."""
+    from repro.exceptions import SearchError
+    from repro.search import AdversarialSearch, BUDGETS, get_space, objective_from_json
+
+    invalid = _validate_runner_args(args)
+    if invalid:
+        return invalid
+    try:
+        objective = objective_from_json({"kind": args.objective})
+        space_name = args.space or (
+            "tiny" if args.objective == "brute-force" else "adversarial"
+        )
+        space = get_space(space_name)
+        config = BUDGETS[args.budget]
+        overrides = {"seed": args.seed, "jobs": args.jobs, "chunksize": args.chunksize}
+        if args.generations is not None:
+            overrides["generations"] = args.generations
+        if args.population is not None:
+            overrides["population_size"] = args.population
+        config = dataclasses.replace(config, **overrides)
+        search = AdversarialSearch(space, objective, config)
+        result = search.run(checkpoint_path=args.checkpoint)
+    except SearchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"search space {space_name!r}, objective {args.objective!r}, "
+        f"budget {args.budget!r}, seed {args.seed}"
+    )
+    _print_search_result(result, jobs=args.jobs)
+    if args.checkpoint is not None:
+        print(f"\nwrote checkpoint to {args.checkpoint}")
+    if args.output is not None:
+        _write_hall_of_fame(result.hall_of_fame, args.output)
+    return 0
+
+
+def cmd_search_resume(args: argparse.Namespace) -> int:
+    """Continue a checkpointed search to its (possibly extended) budget."""
+    from repro.exceptions import SearchError
+    from repro.search import resume_search
+
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.generations is not None and args.generations < 1:
+        print("error: --generations must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        search, result = resume_search(
+            args.checkpoint, generations=args.generations, jobs=args.jobs
+        )
+    except SearchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_search_result(result, jobs=search.config.jobs)
+    return 0
+
+
+def cmd_search_report(args: argparse.Namespace) -> int:
+    """Summarise a checkpoint: meta, per-generation progress, hall of fame."""
+    from repro.exceptions import SearchError
+    from repro.search import HallOfFameEntry, read_checkpoint
+
+    try:
+        state = read_checkpoint(args.checkpoint)
+    except SearchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    meta = state["meta"]
+    config = meta["config"]
+    print(
+        f"space {meta['space']!r}, objective {meta['objective']['kind']!r}, "
+        f"population {config['population_size']}, seed {config['seed']}"
+    )
+    generations = state["generations"]
+    progress_rows = [
+        [record["generation"], len(record["evaluations"]),
+         f"{record['best_score']:.6f}"]
+        for record in generations
+    ]
+    print()
+    print(format_table(["generation", "new evaluations", "best score"],
+                       progress_rows, title="progress"))
+    if generations:
+        entries = [
+            HallOfFameEntry.from_json(data)
+            for data in generations[-1]["hall_of_fame"]
+        ]
+        print()
+        print(_hall_of_fame_table(entries, title="hall of fame"))
     return 0
 
 

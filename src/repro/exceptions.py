@@ -19,6 +19,7 @@ __all__ = [
     "LPError",
     "ExperimentError",
     "ScenarioError",
+    "SearchError",
 ]
 
 
@@ -79,3 +80,7 @@ class ExperimentError(ReproError):
 
 class ScenarioError(ExperimentError):
     """Raised by the scenario registry (unknown kinds, names or grids)."""
+
+
+class SearchError(ExperimentError):
+    """Raised by the adversarial scenario search (bad spaces, objectives or checkpoints)."""

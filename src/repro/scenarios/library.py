@@ -13,7 +13,8 @@ Scenarios fall into three families:
   and topologies carry no randomness at all, anchoring the golden tests.
 
 Grids are named scenario subsets: ``smoke`` (seconds, runs in CI on every
-push), ``paper``, ``adversarial`` and ``full``.  Use
+push), ``paper``, ``adversarial``, ``speed`` (the same cells replayed at
+speeds 1.0/1.5/2.5 via a shared ``seed_key``) and ``full``.  Use
 :func:`register_scenario` to add project-specific scenarios; everything
 registered shows up in ``repro scenarios list`` and the ``full`` grid
 automatically.
@@ -21,6 +22,7 @@ automatically.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.exceptions import ScenarioError
@@ -257,6 +259,33 @@ register_scenario(Scenario(
 ))
 
 
+# ------------------------- speed-augmentation grid ---------------------- #
+# Theorem 1 proves ALG (2+ε)-speed O(1/ε)-competitive; the speed grid
+# replays the *same* cells at speeds 1.0 / 1.5 / 2.5 (2+ε with ε = 0.5).
+# Variants share the base scenario's ``seed_key``, so topology, workload and
+# policy seeds are identical across the grid and only the engine speed
+# differs — the clean empirical read on the augmentation knob.
+_SPEED_BASES = ("tiny-random", "priority-inversion-burst")
+_SPEED_VALUES = (1.5, 2.5)
+
+
+def _speed_variant_name(base: str, speed: float) -> str:
+    return f"{base}@s{speed}"
+
+
+for _base_name in _SPEED_BASES:
+    _base = get_scenario(_base_name)
+    for _speed in _SPEED_VALUES:
+        register_scenario(dataclasses.replace(
+            _base,
+            name=_speed_variant_name(_base_name, _speed),
+            description=f"{_base.description} — engine speed {_speed}",
+            speed=_speed,
+            tags=tuple(t for t in _base.tags if t != "smoke") + ("speed",),
+            seed_key=_base_name,
+        ))
+
+
 # ---------------------------------------------------------------------- #
 # grids
 # ---------------------------------------------------------------------- #
@@ -267,6 +296,11 @@ GRIDS: Dict[str, Sequence[str]] = {
               "incast-projector", "crossbar-uniform", "hybrid-zipf"),
     "adversarial": ("priority-inversion-burst", "laser-hotspot",
                     "photodetector-hotspot", "heavy-tailed-incast"),
+    "speed": tuple(
+        name
+        for base in _SPEED_BASES
+        for name in (base, *(_speed_variant_name(base, s) for s in _SPEED_VALUES))
+    ),
 }
 
 

@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 from repro.baselines.policies import all_policies
 from repro.core.interfaces import Policy
 from repro.core.packet import Packet
-from repro.exceptions import ScenarioError
+from repro.exceptions import ScenarioError, TopologyError
 from repro.experiments.runner import ExperimentSpec, ExperimentTask, run_experiment
 from repro.network.builders import (
     add_uniform_fixed_links,
@@ -58,6 +58,7 @@ from repro.workloads.synthetic import (
     iter_permutation_workload,
     iter_uniform_random_workload,
 )
+from repro.workloads.trace_io import iter_packet_trace, iter_packet_trace_jsonl
 from repro.workloads.weights import (
     WeightSampler,
     bimodal_weights,
@@ -192,6 +193,36 @@ _FIXED_WORKLOAD_KINDS: Dict[str, Callable[[], Iterator[Packet]]] = {
     "figure2-packets": iter_figure2_packets_pi,
 }
 
+#: keys the trace-replay workload kind accepts in ``params``
+_TRACE_PARAM_KEYS = frozenset({"path"})
+
+
+def _check_replay_routable(
+    packets: Iterator[Packet], topology: TwoTierTopology, path: str
+) -> Iterator[Packet]:
+    """Yield replayed packets, rejecting any the topology cannot route.
+
+    Generated workloads draw their endpoints from the topology, so they are
+    routable by construction; a replayed trace was recorded on *some*
+    topology and deserves the explicit check — a mismatched recipe should
+    fail with a clear diagnostic, not deep inside the engine.
+    """
+    for packet in packets:
+        try:
+            routable = topology.can_route(packet.source, packet.destination)
+        except TopologyError:
+            # can_route raises (rather than returning False) for endpoints
+            # the topology has never heard of.
+            routable = False
+        if not routable:
+            raise ScenarioError(
+                f"trace {path}: packet {packet.packet_id} "
+                f"({packet.source} -> {packet.destination}) is not routable on "
+                f"topology {topology.name!r}; the scenario's topology spec does "
+                "not match the one the trace was recorded on"
+            )
+        yield packet
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -201,8 +232,11 @@ class WorkloadSpec:
     ----------
     kind:
         A generator kind from :mod:`repro.workloads` (``uniform``, ``zipf``,
-        ``bursty``, ``priority-inversion``, …) or a deterministic packet set
-        (``figure1-packets``, ``figure2-packets``).
+        ``bursty``, ``priority-inversion``, …), a deterministic packet set
+        (``figure1-packets``, ``figure2-packets``) or ``trace`` — replaying
+        a recorded packet trace (``params={"path": …}``, ``.jsonl`` or
+        ``.csv`` as written by :mod:`repro.workloads.trace_io`), which makes
+        recorded or search-discovered workloads first-class scenarios.
     params:
         Keyword arguments for the generator (primitives only).
     weights:
@@ -215,6 +249,25 @@ class WorkloadSpec:
     weights: Optional[Tuple[Any, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.kind == "trace":
+            # A replayed trace is already a fixed packet sequence: it takes a
+            # path, and nothing that could silently alter the replay.
+            unknown = set(self.params) - _TRACE_PARAM_KEYS
+            if "path" not in self.params:
+                raise ScenarioError(
+                    "workload kind 'trace' requires params={'path': <trace file>}"
+                )
+            if unknown:
+                raise ScenarioError(
+                    f"workload kind 'trace' got unknown params {sorted(unknown)}; "
+                    f"accepted: {sorted(_TRACE_PARAM_KEYS)}"
+                )
+            if self.weights is not None:
+                raise ScenarioError(
+                    "workload kind 'trace' replays recorded weights and "
+                    "accepts no weight sampler"
+                )
+            return
         if self.kind in _FIXED_WORKLOAD_KINDS:
             # Deterministic packet sets take no parameters; accepting (and
             # silently dropping) them would make a misconfigured scenario
@@ -228,7 +281,7 @@ class WorkloadSpec:
         if self.kind not in _WORKLOAD_KINDS:
             raise ScenarioError(
                 f"unknown workload kind {self.kind!r}; expected one of "
-                f"{sorted(_WORKLOAD_KINDS) + sorted(_FIXED_WORKLOAD_KINDS)}"
+                f"{sorted(_WORKLOAD_KINDS) + sorted(_FIXED_WORKLOAD_KINDS) + ['trace']}"
             )
         if self.weights is not None and not _WORKLOAD_KINDS[self.kind][1]:
             raise ScenarioError(
@@ -240,6 +293,13 @@ class WorkloadSpec:
         self, topology: TwoTierTopology, seed: Optional[int] = None
     ) -> Iterator[Packet]:
         """Lazily yield the scenario's packets on ``topology``."""
+        if self.kind == "trace":
+            path = str(self.params["path"])
+            packets = (
+                iter_packet_trace(path) if path.endswith(".csv")
+                else iter_packet_trace_jsonl(path)
+            )
+            return _check_replay_routable(packets, topology, path)
         if self.kind in _FIXED_WORKLOAD_KINDS:
             return _FIXED_WORKLOAD_KINDS[self.kind]()
         builder, takes_sampler = _WORKLOAD_KINDS[self.kind]
@@ -297,6 +357,12 @@ class Scenario:
         Free-form labels used by grids and ``list --tag``.
     max_slots:
         Engine safety bound.
+    seed_key:
+        Name used for topology/workload/policy seed derivation (defaults to
+        ``name``).  Variant scenarios that must share *exactly* the same
+        cells as a base scenario — e.g. a speed-augmentation grid running
+        one instance at several speeds — set this to the base scenario's
+        name, so only the engine configuration differs between variants.
     """
 
     name: str
@@ -308,6 +374,7 @@ class Scenario:
     seeds: Tuple[int, ...] = (0,)
     tags: Tuple[str, ...] = ()
     max_slots: int = 1_000_000
+    seed_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -322,18 +389,21 @@ class Scenario:
     ) -> Tuple[TwoTierTopology, Iterator[Packet], Dict[str, Policy]]:
         """Build one cell: ``(topology, lazy packet stream, fresh policies)``.
 
-        All randomness derives only from (scenario name, cell seed), so a
-        scenario's cells are identical no matter which matrix or grid they
-        run in, and two scenarios sharing a cell seed still draw independent
-        topologies and workloads.
+        All randomness derives only from (seed key, cell seed) — the seed
+        key defaults to the scenario name — so a scenario's cells are
+        identical no matter which matrix or grid they run in, two scenarios
+        sharing a cell seed still draw independent topologies and workloads,
+        and variants sharing a ``seed_key`` (the speed-augmentation grid)
+        replay exactly the same instances.
         """
+        key = self.seed_key or self.name
         factory = SeedSequenceFactory(seed)
-        topology = self.topology.build(factory.integer_seed("topology", self.name))
+        topology = self.topology.build(factory.integer_seed("topology", key))
         packets = self.workload.build_iter(
-            topology, factory.integer_seed("workload", self.name)
+            topology, factory.integer_seed("workload", key)
         )
         policies = resolve_policies(
-            self.policies, factory.integer_seed("policies", self.name)
+            self.policies, factory.integer_seed("policies", key)
         )
         return topology, packets, policies
 

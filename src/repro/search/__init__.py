@@ -1,0 +1,81 @@
+"""Automated adversarial scenario search (``repro.search``).
+
+ROADMAP's "adversarial search" item made concrete: a deterministic,
+seedable evolutionary loop that perturbs scenario parameters and keeps the
+cells maximising ALG's empirical ratio, turning worst-case hunting from a
+manual charging-argument derivation into a parallel, reproducible,
+resumable subsystem.
+
+* :mod:`repro.search.space` — typed bounded knobs over scenario recipes
+  (:class:`ParamSpace`, the ``adversarial`` and ``tiny`` named spaces);
+* :mod:`repro.search.objective` — pluggable measurements
+  (:class:`EmpiricalRatioObjective` over shared-stream ``run_multi`` cells,
+  :class:`BruteForceRatioObjective` against the exact offline optimum);
+* :mod:`repro.search.loop` — the generational :class:`AdversarialSearch`
+  driver (elitism, hall of fame, JSONL checkpoint/resume, parallel
+  evaluation through the experiment runner);
+* :mod:`repro.search.bridge` — :func:`hall_of_fame_to_scenarios`, promoting
+  discovered cells into the scenario registry.
+
+The CLI front end is ``repro search list|run|resume|report``.
+"""
+
+from repro.search.bridge import hall_of_fame_to_scenarios
+from repro.search.loop import (
+    BUDGETS,
+    AdversarialSearch,
+    HallOfFameEntry,
+    SearchConfig,
+    SearchResult,
+    read_checkpoint,
+    resume_search,
+)
+from repro.search.objective import (
+    BruteForceRatioObjective,
+    EmpiricalRatioObjective,
+    Objective,
+    ObjectiveResult,
+    objective_from_json,
+    objective_to_json,
+)
+from repro.search.space import (
+    ChoiceKnob,
+    FloatKnob,
+    IntKnob,
+    ParamSpace,
+    adversarial_space,
+    candidate_digest,
+    candidate_key,
+    get_space,
+    register_space,
+    space_names,
+    tiny_space,
+)
+
+__all__ = [
+    "AdversarialSearch",
+    "SearchConfig",
+    "SearchResult",
+    "HallOfFameEntry",
+    "BUDGETS",
+    "read_checkpoint",
+    "resume_search",
+    "EmpiricalRatioObjective",
+    "BruteForceRatioObjective",
+    "Objective",
+    "ObjectiveResult",
+    "objective_to_json",
+    "objective_from_json",
+    "ParamSpace",
+    "IntKnob",
+    "FloatKnob",
+    "ChoiceKnob",
+    "adversarial_space",
+    "tiny_space",
+    "get_space",
+    "register_space",
+    "space_names",
+    "candidate_key",
+    "candidate_digest",
+    "hall_of_fame_to_scenarios",
+]

@@ -1,0 +1,68 @@
+"""Promoting discovered worst cases into the scenario registry.
+
+The hall of fame a search produces is plain data; this module closes the
+loop back to :mod:`repro.scenarios` by rebuilding each archived candidate's
+declarative :class:`~repro.scenarios.spec.Scenario` — same content-addressed
+name, hence the same topology/workload draws the objective scored — and
+optionally registering it, so discovered stressors become first-class cells:
+they show up in ``repro scenarios list``, can join grids, and can be pinned
+by the golden harness exactly like the hand-derived ones.
+
+For archival beyond a session, pair this with the ``trace`` workload kind:
+record a discovered scenario's packets with
+:func:`repro.workloads.trace_io.write_packet_trace_jsonl` and register a
+``WorkloadSpec("trace", {"path": …})`` scenario replaying them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.scenarios.library import register_scenario
+from repro.scenarios.spec import Scenario
+from repro.search.loop import HallOfFameEntry
+from repro.search.space import ParamSpace
+
+__all__ = ["hall_of_fame_to_scenarios"]
+
+
+def hall_of_fame_to_scenarios(
+    entries: Sequence[HallOfFameEntry],
+    space: ParamSpace,
+    seeds: Tuple[int, ...] = (0,),
+    policies: Tuple[str, ...] = ("alg", "fifo", "maxweight", "islip", "shortest-path"),
+    register: bool = False,
+    replace: bool = False,
+    limit: Optional[int] = None,
+) -> List[Scenario]:
+    """Rebuild (and optionally register) the scenarios behind a hall of fame.
+
+    Parameters
+    ----------
+    entries:
+        Hall-of-fame entries (e.g. ``result.hall_of_fame``), best first.
+    space:
+        The :class:`ParamSpace` the search ran over (its builder defines the
+        params → scenario mapping; entries from a different space raise).
+    seeds, policies:
+        Cell seeds and policy race of the promoted scenarios — promotion
+        widens the replicate seeds or the policy set without re-searching.
+    register:
+        When true, each scenario is added to the global registry (so it
+        appears in ``repro scenarios list`` and the ``full`` grid).
+    replace:
+        Forwarded to :func:`~repro.scenarios.library.register_scenario`;
+        allows re-promoting after a repeated search.
+    limit:
+        Promote only the best ``limit`` entries (default: all).
+    """
+    chosen = list(entries)[: limit if limit is not None else len(entries)]
+    scenarios: List[Scenario] = []
+    for entry in chosen:
+        scenario = space.build_scenario(
+            entry.params, seeds=seeds, policies=policies, name=entry.scenario_name
+        )
+        if register:
+            register_scenario(scenario, replace=replace)
+        scenarios.append(scenario)
+    return scenarios

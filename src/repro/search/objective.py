@@ -1,0 +1,210 @@
+"""Pluggable objectives scoring how adversarial a candidate scenario is.
+
+An objective answers one question about a candidate: *how bad does ALG look
+on this scenario?*  Two measurement regimes are provided:
+
+* :class:`EmpiricalRatioObjective` — ALG's total weighted latency divided by
+  the best baseline's, measured per cell through the engine's single-pass
+  multi-policy path (:meth:`~repro.simulation.engine.SimulationEngine.run_multi`
+  via the scenario matrix machinery), so a candidate's whole policy race
+  consumes one workload generation.  Works at any scenario scale.
+* :class:`BruteForceRatioObjective` — ALG's cost divided by the *exact*
+  offline optimum from :func:`repro.baselines.brute_force.brute_force_optimal`.
+  Only feasible on tiny cells (the ``tiny`` space); candidates exceeding the
+  exhaustive-search size limits score 0.0 instead of failing the search.
+
+Both replicate each candidate over several cell seeds and apply the same
+confidence filter: the reported score is the **minimum** ratio across
+replicates, so a candidate only scores what it achieves on *every* draw —
+lucky single-seed outliers don't poison the hall of fame.  Objectives are
+small frozen dataclasses of primitives, hence picklable into experiment
+runner workers and JSON round-trippable into checkpoints
+(:func:`objective_to_json` / :func:`objective_from_json`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple, Union
+
+from repro.baselines.brute_force import brute_force_optimal
+from repro.exceptions import AnalysisError, SearchError
+from repro.scenarios.spec import Scenario
+from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.workloads.base import Instance
+
+__all__ = [
+    "ObjectiveResult",
+    "EmpiricalRatioObjective",
+    "BruteForceRatioObjective",
+    "Objective",
+    "objective_to_json",
+    "objective_from_json",
+]
+
+#: Finite stand-in for "ALG pays, the reference pays nothing" — keeps scores
+#: JSON-serialisable and totally ordered without dragging infinities around.
+_RATIO_CAP = 1e9
+
+
+def _safe_ratio(cost: float, reference: float) -> float:
+    """``cost / reference`` guarded against degenerate zero-cost cells."""
+    if reference > 1e-12:
+        return min(cost / reference, _RATIO_CAP)
+    return 1.0 if cost <= 1e-12 else _RATIO_CAP
+
+
+def _filter_scores(ratios: Tuple[float, ...]) -> Tuple[float, float]:
+    """Confidence filter: (score = worst-case-for-the-claim min, mean)."""
+    if not ratios:
+        return 0.0, 0.0
+    return min(ratios), sum(ratios) / len(ratios)
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """Per-candidate measurement.
+
+    Attributes
+    ----------
+    score:
+        The confidence-filtered objective value (min ratio across replicate
+        seeds); the quantity the search maximises.
+    ratios:
+        One empirical/exact ratio per replicate seed, in seed order.
+    mean_ratio:
+        Arithmetic mean of ``ratios`` (reported, never optimised).
+    """
+
+    score: float
+    ratios: Tuple[float, ...]
+    mean_ratio: float
+
+
+@dataclass(frozen=True)
+class EmpiricalRatioObjective:
+    """ALG cost over the best baseline cost, per-seed, shared-stream.
+
+    Attributes
+    ----------
+    baselines:
+        Policy names raced against ALG; the per-seed reference cost is the
+        minimum over them (the strongest competitor on that draw).
+    retention:
+        Engine retention mode for the evaluation runs (``"aggregate"``
+        bounds each cell's memory; summaries are bit-identical to full).
+    """
+
+    baselines: Tuple[str, ...] = ("fifo", "maxweight", "islip", "shortest-path")
+    retention: str = "aggregate"
+
+    def __post_init__(self) -> None:
+        if not self.baselines:
+            raise SearchError("EmpiricalRatioObjective needs at least one baseline")
+
+    def scenario_policies(self) -> Tuple[str, ...]:
+        """Policies a candidate scenario must race (ALG plus the baselines)."""
+        return ("alg",) + tuple(self.baselines)
+
+    def evaluate(self, scenario: Scenario) -> ObjectiveResult:
+        """Score ``scenario`` over its cell seeds (one ratio per seed)."""
+        ratios = []
+        for seed in scenario.seeds:
+            topology, packets, policies = scenario.materialise(seed)
+            engine = SimulationEngine(
+                topology,
+                config=EngineConfig(
+                    speed=scenario.speed,
+                    max_slots=scenario.max_slots,
+                    retention=self.retention,
+                ),
+            )
+            results = engine.run_multi(packets, policies)
+            alg_cost = results["alg"].total_weighted_latency
+            best_baseline = min(
+                results[name].total_weighted_latency for name in self.baselines
+            )
+            ratios.append(_safe_ratio(alg_cost, best_baseline))
+        score, mean = _filter_scores(tuple(ratios))
+        return ObjectiveResult(score=score, ratios=tuple(ratios), mean_ratio=mean)
+
+
+@dataclass(frozen=True)
+class BruteForceRatioObjective:
+    """ALG cost over the exact offline optimum on tiny cells.
+
+    Attributes
+    ----------
+    max_total_chunks, max_route_combinations:
+        Size guards forwarded to :func:`brute_force_optimal`; a candidate
+        exceeding them scores 0.0 (filtered out) rather than aborting the
+        search.
+    """
+
+    max_total_chunks: int = 12
+    max_route_combinations: int = 5000
+
+    def scenario_policies(self) -> Tuple[str, ...]:
+        """Only ALG runs online; the reference is the offline optimum."""
+        return ("alg",)
+
+    def evaluate(self, scenario: Scenario) -> ObjectiveResult:
+        """Score ``scenario`` over its cell seeds (exact ratio per seed)."""
+        ratios = []
+        for seed in scenario.seeds:
+            topology, packets, policies = scenario.materialise(seed)
+            packet_list = list(packets)
+            instance = Instance(
+                name=scenario.name, topology=topology, packets=packet_list
+            )
+            try:
+                optimum = brute_force_optimal(
+                    instance,
+                    max_total_chunks=self.max_total_chunks,
+                    max_route_combinations=self.max_route_combinations,
+                )
+            except AnalysisError:
+                # Candidate outgrew the exhaustive solver: filter, don't fail.
+                ratios.append(0.0)
+                continue
+            engine = SimulationEngine(
+                topology,
+                policies["alg"],
+                EngineConfig(speed=scenario.speed, max_slots=scenario.max_slots),
+            )
+            alg_cost = engine.run(packet_list).total_weighted_latency
+            ratios.append(_safe_ratio(alg_cost, optimum.cost))
+        score, mean = _filter_scores(tuple(ratios))
+        return ObjectiveResult(score=score, ratios=tuple(ratios), mean_ratio=mean)
+
+
+Objective = Union[EmpiricalRatioObjective, BruteForceRatioObjective]
+
+_OBJECTIVE_KINDS: Dict[str, type] = {
+    "empirical": EmpiricalRatioObjective,
+    "brute-force": BruteForceRatioObjective,
+}
+
+
+def objective_to_json(objective: Objective) -> Dict[str, Any]:
+    """Serialise an objective for checkpoint metadata."""
+    for kind, cls in _OBJECTIVE_KINDS.items():
+        if isinstance(objective, cls):
+            payload = asdict(objective)
+            if "baselines" in payload:
+                payload["baselines"] = list(payload["baselines"])
+            return {"kind": kind, **payload}
+    raise SearchError(f"cannot serialise objective of type {type(objective).__name__}")
+
+
+def objective_from_json(data: Dict[str, Any]) -> Objective:
+    """Reconstruct an objective from checkpoint metadata (or CLI kind names)."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in _OBJECTIVE_KINDS:
+        raise SearchError(
+            f"unknown objective kind {kind!r}; choose from {sorted(_OBJECTIVE_KINDS)}"
+        )
+    if "baselines" in payload:
+        payload["baselines"] = tuple(payload["baselines"])
+    return _OBJECTIVE_KINDS[kind](**payload)

@@ -1,0 +1,506 @@
+"""Typed, bounded parameter spaces over scenario recipes.
+
+A :class:`ParamSpace` describes the knobs the adversarial search is allowed
+to turn — rack count, lasers/photodetectors per rack, arrival intensity,
+weight skew, burst shape, speed augmentation, connectivity — as typed,
+bounded :class:`Knob`\\ s, plus a *builder* that maps any in-bounds parameter
+assignment to a valid, picklable :class:`~repro.scenarios.spec.Scenario`.
+
+Three properties make the space safe to search:
+
+* **closure** — :meth:`ParamSpace.sample`, :meth:`ParamSpace.mutate` and
+  :meth:`ParamSpace.crossover` always produce assignments inside the knob
+  bounds, and every in-bounds assignment builds a runnable scenario (the
+  builders clamp derived quantities like burst gaps to their generators'
+  validity ranges);
+* **plain data** — assignments are ``{knob name: int | float | str}`` dicts
+  of pure Python scalars, so they JSON round-trip exactly (checkpoints) and
+  pickle verbatim into :class:`~repro.experiments.runner.ExperimentRunner`
+  worker processes;
+* **content-addressed identity** — :func:`candidate_key` /
+  :func:`candidate_digest` derive a canonical identity from the assignment
+  alone, so the same candidate always evaluates to the same scenario (and
+  hence the same score) no matter which generation, process or resumed run
+  encounters it.
+
+Spaces are registered by name (:func:`register_space` / :func:`get_space`):
+``adversarial`` searches the charging-argument stressor families at full
+scenario scale, ``tiny`` generates ≤5-packet cells small enough for the
+exact brute-force objective.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import SearchError
+from repro.scenarios.spec import Scenario, TopologySpec, WorkloadSpec
+
+__all__ = [
+    "IntKnob",
+    "FloatKnob",
+    "ChoiceKnob",
+    "Knob",
+    "ParamSpace",
+    "candidate_key",
+    "candidate_digest",
+    "register_space",
+    "get_space",
+    "space_names",
+    "adversarial_space",
+    "tiny_space",
+]
+
+ParamValue = Union[int, float, str]
+Params = Dict[str, ParamValue]
+
+
+# ---------------------------------------------------------------------- #
+# knobs
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IntKnob:
+    """An integer knob with inclusive bounds; mutation takes a bounded step."""
+
+    name: str
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise SearchError(f"knob {self.name!r}: low {self.low} > high {self.high}")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def mutate(self, value: ParamValue, rng: np.random.Generator) -> int:
+        step = max(1, (self.high - self.low) // 4)
+        moved = int(value) + int(rng.integers(-step, step + 1))
+        return int(min(self.high, max(self.low, moved)))
+
+    def validate(self, value: ParamValue) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SearchError(f"knob {self.name!r} expects an int, got {value!r}")
+        if not self.low <= value <= self.high:
+            raise SearchError(
+                f"knob {self.name!r} value {value} outside [{self.low}, {self.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class FloatKnob:
+    """A float knob with inclusive bounds; mutation adds clipped Gaussian noise."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise SearchError(f"knob {self.name!r}: low {self.low} > high {self.high}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mutate(self, value: ParamValue, rng: np.random.Generator) -> float:
+        scale = (self.high - self.low) / 6.0 or 1e-9
+        moved = float(value) + float(rng.normal(0.0, scale))
+        return float(min(self.high, max(self.low, moved)))
+
+    def validate(self, value: ParamValue) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SearchError(f"knob {self.name!r} expects a float, got {value!r}")
+        if not self.low <= float(value) <= self.high:
+            raise SearchError(
+                f"knob {self.name!r} value {value} outside [{self.low}, {self.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class ChoiceKnob:
+    """A categorical knob; mutation resamples uniformly from the choices."""
+
+    name: str
+    choices: Tuple[ParamValue, ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise SearchError(f"knob {self.name!r} has no choices")
+
+    def sample(self, rng: np.random.Generator) -> ParamValue:
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def mutate(self, value: ParamValue, rng: np.random.Generator) -> ParamValue:
+        return self.sample(rng)
+
+    def validate(self, value: ParamValue) -> None:
+        if value not in self.choices:
+            raise SearchError(
+                f"knob {self.name!r} value {value!r} not among {self.choices!r}"
+            )
+
+
+Knob = Union[IntKnob, FloatKnob, ChoiceKnob]
+
+
+# ---------------------------------------------------------------------- #
+# candidate identity
+# ---------------------------------------------------------------------- #
+def candidate_key(params: Mapping[str, ParamValue]) -> str:
+    """Canonical JSON identity of a parameter assignment.
+
+    Python's ``repr``-exact float serialisation makes this stable across JSON
+    round trips, so a checkpointed candidate resumes under the same key.
+    """
+    return json.dumps(dict(params), sort_keys=True, separators=(",", ":"))
+
+
+def candidate_digest(params: Mapping[str, ParamValue]) -> str:
+    """Short content hash of an assignment (used in derived scenario names)."""
+    return hashlib.sha1(candidate_key(params).encode("utf-8")).hexdigest()[:10]
+
+
+# ---------------------------------------------------------------------- #
+# scenario builders
+# ---------------------------------------------------------------------- #
+#: A builder maps (params, scenario name, seeds, policies) to a Scenario.
+ScenarioBuilder = Callable[[Params, str, Tuple[int, ...], Tuple[str, ...]], Scenario]
+
+_SCENARIO_BUILDERS: Dict[str, ScenarioBuilder] = {}
+
+
+def _register_builder(name: str, builder: ScenarioBuilder) -> None:
+    _SCENARIO_BUILDERS[name] = builder
+
+
+# ---------------------------------------------------------------------- #
+# the space
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ParamSpace:
+    """A named set of knobs plus the builder turning assignments into scenarios.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also namespaces the scenario names the builder derives.
+    knobs:
+        The typed, bounded knobs (order defines crossover/mutation order).
+    builder:
+        Key into the module's builder registry (a string rather than a
+        callable so the space itself pickles into worker processes).
+    """
+
+    name: str
+    knobs: Tuple[Knob, ...]
+    builder: str
+
+    def __post_init__(self) -> None:
+        names = [k.name for k in self.knobs]
+        if len(set(names)) != len(names):
+            raise SearchError(f"space {self.name!r} has duplicate knob names")
+        if self.builder not in _SCENARIO_BUILDERS:
+            raise SearchError(
+                f"space {self.name!r} names unknown builder {self.builder!r}"
+            )
+
+    def knob(self, name: str) -> Knob:
+        """Look up one knob by name."""
+        for k in self.knobs:
+            if k.name == name:
+                return k
+        raise SearchError(f"space {self.name!r} has no knob {name!r}")
+
+    def sample(self, rng: np.random.Generator) -> Params:
+        """Draw a uniform random in-bounds assignment."""
+        return {k.name: k.sample(rng) for k in self.knobs}
+
+    def validate(self, params: Mapping[str, ParamValue]) -> None:
+        """Check that ``params`` assigns every knob an in-bounds value."""
+        expected = {k.name for k in self.knobs}
+        got = set(params)
+        if expected != got:
+            raise SearchError(
+                f"assignment keys {sorted(got)} do not match space "
+                f"{self.name!r} knobs {sorted(expected)}"
+            )
+        for k in self.knobs:
+            k.validate(params[k.name])
+
+    def mutate(
+        self, params: Mapping[str, ParamValue], rng: np.random.Generator,
+        rate: float = 0.4,
+    ) -> Params:
+        """Return a mutated copy of ``params`` (each knob perturbed with prob ``rate``).
+
+        If no perturbation actually changed a value (low rate, or a choice
+        resampled to itself), random knobs are re-perturbed — boundedly — so
+        mutation practically never degenerates into the identity and the
+        search keeps moving even at low rates.
+        """
+        parent = dict(params)
+        child = dict(params)
+        for k in self.knobs:
+            if rng.random() < rate:
+                child[k.name] = k.mutate(child[k.name], rng)
+        attempts = 0
+        while child == parent and attempts < 8:
+            k = self.knobs[int(rng.integers(len(self.knobs)))]
+            child[k.name] = k.mutate(child[k.name], rng)
+            attempts += 1
+        return child
+
+    def crossover(
+        self,
+        a: Mapping[str, ParamValue],
+        b: Mapping[str, ParamValue],
+        rng: np.random.Generator,
+    ) -> Params:
+        """Uniform per-knob crossover of two parents."""
+        return {k.name: (a if rng.random() < 0.5 else b)[k.name] for k in self.knobs}
+
+    def build_scenario(
+        self,
+        params: Mapping[str, ParamValue],
+        seeds: Tuple[int, ...] = (0,),
+        policies: Tuple[str, ...] = ("alg", "fifo"),
+        name: str = "",
+    ) -> Scenario:
+        """Materialise the assignment as a declarative scenario.
+
+        The default name is content-addressed (``search-<space>-<digest>``),
+        so the same candidate always names — and therefore seeds — the same
+        scenario, whichever generation or process builds it.
+        """
+        self.validate(params)
+        scenario_name = name or f"search-{self.name}-{candidate_digest(params)}"
+        return _SCENARIO_BUILDERS[self.builder](
+            dict(params), scenario_name, tuple(seeds), tuple(policies)
+        )
+
+
+# ---------------------------------------------------------------------- #
+# the adversarial builder (full scenario scale)
+# ---------------------------------------------------------------------- #
+def _intensity_gap(intensity: float, base: float = 12.0, floor: int = 2) -> int:
+    """Map an arrival-intensity knob to an inter-burst gap (higher = denser)."""
+    return max(floor, int(round(base / max(intensity, 1e-9))))
+
+
+def _adversarial_builder(
+    params: Params, name: str, seeds: Tuple[int, ...], policies: Tuple[str, ...]
+) -> Scenario:
+    topology = TopologySpec(
+        "projector",
+        {
+            "num_racks": params["num_racks"],
+            "lasers_per_rack": params["lasers_per_rack"],
+            "photodetectors_per_rack": params["photodetectors_per_rack"],
+            "connectivity": round(float(params["connectivity"]), 6),
+        },
+    )
+    kind = params["kind"]
+    intensity = float(params["intensity"])
+    skew = float(params["skew"])
+    burst = int(params["burst"])
+    if kind == "priority-inversion":
+        workload = WorkloadSpec(
+            "priority-inversion",
+            {
+                "num_bursts": 8,
+                "light_per_burst": burst,
+                "heavy_per_burst": max(1, burst // 2),
+                "light_weight": (1.0, 2.0),
+                "heavy_weight": (round(20.0 * skew, 6), round(40.0 * skew, 6)),
+                "burst_gap": _intensity_gap(intensity),
+            },
+        )
+    elif kind == "contention-hotspot":
+        workload = WorkloadSpec(
+            "contention-hotspot",
+            {
+                "num_packets": 10 * burst,
+                "side": params["side"],
+                "hot_fraction": round(float(params["focus"]), 6),
+                "arrival_rate": round(intensity, 6),
+            },
+            weights=("pareto", round(skew, 6)),
+        )
+    elif kind == "heavy-tailed-incast":
+        workload = WorkloadSpec(
+            "heavy-tailed-incast",
+            {
+                "num_waves": 6,
+                "senders_per_wave": burst,
+                "packets_per_sender": 2,
+                "wave_gap": _intensity_gap(intensity, base=10.0),
+                "pareto_exponent": round(max(skew, 1.05), 6),
+            },
+        )
+    else:  # pragma: no cover - the kind knob enumerates exactly these three
+        raise SearchError(f"unknown adversarial workload kind {kind!r}")
+    return Scenario(
+        name=name,
+        description=f"searched {kind} stressor ({candidate_digest(params)})",
+        topology=topology,
+        workload=workload,
+        policies=policies,
+        speed=float(params["speed"]),
+        seeds=seeds,
+        tags=("adversarial", "searched"),
+    )
+
+
+_register_builder("adversarial-v1", _adversarial_builder)
+
+
+def adversarial_space(speeds: Sequence[float] = (1.0,)) -> ParamSpace:
+    """The full-scale stressor space (empirical-ratio objective).
+
+    Knobs cover the axes the ROADMAP names: fabric shape (rack count, lasers
+    and photodetectors per rack, connectivity), arrival intensity, weight
+    skew, burst shape and speed augmentation.  The hand-derived registry
+    stressors all correspond to interior points of this space, which is what
+    lets the search rediscover (and then outdo) them.
+    """
+    return ParamSpace(
+        name="adversarial",
+        knobs=(
+            ChoiceKnob("kind", ("priority-inversion", "contention-hotspot",
+                                "heavy-tailed-incast")),
+            ChoiceKnob("side", ("transmitter", "receiver")),
+            IntKnob("num_racks", 3, 6),
+            IntKnob("lasers_per_rack", 1, 3),
+            IntKnob("photodetectors_per_rack", 1, 3),
+            FloatKnob("connectivity", 0.5, 1.0),
+            FloatKnob("intensity", 1.0, 6.0),
+            FloatKnob("focus", 0.6, 0.95),
+            FloatKnob("skew", 1.1, 3.0),
+            IntKnob("burst", 2, 8),
+            ChoiceKnob("speed", tuple(float(s) for s in speeds)),
+        ),
+        builder="adversarial-v1",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the tiny builder (exact brute-force objective)
+# ---------------------------------------------------------------------- #
+def _tiny_builder(
+    params: Params, name: str, seeds: Tuple[int, ...], policies: Tuple[str, ...]
+) -> Scenario:
+    topology = TopologySpec(
+        "projector",
+        {
+            "num_racks": params["num_racks"],
+            "lasers_per_rack": params["lasers_per_rack"],
+            "photodetectors_per_rack": params["photodetectors_per_rack"],
+        },
+    )
+    kind = params["kind"]
+    skew = round(max(float(params["skew"]), 1.05), 6)
+    if kind == "priority-inversion":
+        workload = WorkloadSpec(
+            "priority-inversion",
+            {
+                "num_bursts": 1,
+                "light_per_burst": int(params["burst"]),
+                "heavy_per_burst": 1,
+                "heavy_weight": (round(20.0 * skew, 6), round(40.0 * skew, 6)),
+                "burst_gap": 4,
+            },
+        )
+    elif kind == "contention-hotspot":
+        workload = WorkloadSpec(
+            "contention-hotspot",
+            {
+                "num_packets": int(params["burst"]) + 2,
+                "side": params["side"],
+                "hot_fraction": 0.9,
+                "arrival_rate": round(float(params["intensity"]), 6),
+            },
+            weights=("pareto", skew),
+        )
+    elif kind == "heavy-tailed-incast":
+        workload = WorkloadSpec(
+            "heavy-tailed-incast",
+            {
+                "num_waves": 2,
+                "senders_per_wave": int(params["burst"]),
+                "packets_per_sender": 1,
+                "wave_gap": 3,
+                "pareto_exponent": skew,
+            },
+        )
+    else:  # pragma: no cover - the kind knob enumerates exactly these three
+        raise SearchError(f"unknown tiny workload kind {kind!r}")
+    return Scenario(
+        name=name,
+        description=f"searched tiny {kind} cell ({candidate_digest(params)})",
+        topology=topology,
+        workload=workload,
+        policies=policies,
+        speed=float(params["speed"]),
+        seeds=seeds,
+        tags=("adversarial", "searched", "tiny"),
+        max_slots=10_000,
+    )
+
+
+_register_builder("tiny-v1", _tiny_builder)
+
+
+def tiny_space() -> ParamSpace:
+    """A ≤5-packet cell space sized for the exact brute-force objective."""
+    return ParamSpace(
+        name="tiny",
+        knobs=(
+            ChoiceKnob("kind", ("priority-inversion", "contention-hotspot",
+                                "heavy-tailed-incast")),
+            ChoiceKnob("side", ("transmitter", "receiver")),
+            IntKnob("num_racks", 2, 3),
+            IntKnob("lasers_per_rack", 1, 2),
+            IntKnob("photodetectors_per_rack", 1, 2),
+            FloatKnob("intensity", 1.0, 4.0),
+            FloatKnob("skew", 1.2, 3.0),
+            IntKnob("burst", 2, 3),
+            ChoiceKnob("speed", (1.0,)),
+        ),
+        builder="tiny-v1",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# space registry
+# ---------------------------------------------------------------------- #
+_SPACES: Dict[str, Callable[[], ParamSpace]] = {}
+
+
+def register_space(name: str, factory: Callable[[], ParamSpace]) -> None:
+    """Register a named space factory (shows up in ``repro search list``)."""
+    _SPACES[name] = factory
+
+
+def get_space(name: str) -> ParamSpace:
+    """Construct the named space."""
+    try:
+        factory = _SPACES[name]
+    except KeyError:
+        raise SearchError(
+            f"unknown search space {name!r}; choose from {sorted(_SPACES)}"
+        ) from None
+    return factory()
+
+
+def space_names() -> List[str]:
+    """Names of all registered spaces."""
+    return sorted(_SPACES)
+
+
+register_space("adversarial", adversarial_space)
+register_space("tiny", tiny_space)

@@ -27,10 +27,17 @@ from repro.scenarios import scenario_matrix
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "scenarios.json"
 
-#: Scenarios pinned by golden fingerprints: the CI smoke grid plus the
-#: deterministic worked examples.  Full-size scenarios are excluded on
-#: purpose — goldens must stay fast enough to run on every push.
-GOLDEN_SCENARIOS = ("figure1", "figure2", "tiny-random", "priority-inversion-burst")
+#: Scenarios pinned by golden fingerprints: the CI smoke grid, the
+#: deterministic worked examples and the speed-augmentation grid (whose
+#: variants must keep replaying *identical* cells to their base scenario —
+#: a drift in the shared seed_key derivation shows up here).  Full-size
+#: scenarios are excluded on purpose — goldens must stay fast enough to run
+#: on every push.
+GOLDEN_SCENARIOS = (
+    "figure1", "figure2", "tiny-random", "priority-inversion-burst",
+    "tiny-random@s1.5", "tiny-random@s2.5",
+    "priority-inversion-burst@s1.5", "priority-inversion-burst@s2.5",
+)
 
 
 def _current_rows() -> Dict[str, List[Dict[str, Any]]]:

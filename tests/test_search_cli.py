@@ -1,0 +1,111 @@
+"""Tests for the ``repro search`` CLI (list / run / resume / report)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _SEARCH_BUDGETS, build_parser, main
+from repro.experiments import read_json, read_jsonl
+from repro.search import BUDGETS
+
+#: Fast budget overrides shared by the run tests below.
+FAST = ["--generations", "2", "--population", "4"]
+
+
+class TestParser:
+    def test_requires_search_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["search", "run"])
+        assert args.budget == "smoke" and args.objective == "empirical"
+        assert args.jobs == 1 and args.space is None
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "run", "--budget", "galactic"])
+
+    def test_cli_budget_names_mirror_search_budgets(self):
+        # The CLI keeps a literal copy so parser construction stays light;
+        # this pin keeps the two from drifting apart.
+        assert set(_SEARCH_BUDGETS) == set(BUDGETS)
+
+
+class TestSearchList:
+    def test_lists_spaces_objectives_and_budgets(self, capsys):
+        assert main(["search", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "adversarial" in out and "tiny" in out
+        assert "empirical" in out and "brute-force" in out
+        for budget in _SEARCH_BUDGETS:
+            assert budget in out
+
+
+class TestSearchRun:
+    def test_brute_force_smoke_run(self, capsys):
+        assert main(["search", "run", "--objective", "brute-force", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "space 'tiny'" in out
+        assert "hall of fame" in out and "best score per generation" in out
+
+    def test_output_json_and_jsonl(self, capsys, tmp_path):
+        json_path = tmp_path / "hof.json"
+        assert main(["search", "run", "--objective", "brute-force", *FAST,
+                     "--output", str(json_path)]) == 0
+        rows = read_json(json_path)
+        assert rows and {"key", "params", "score", "scenario_name"} <= set(rows[0])
+
+        jsonl_path = tmp_path / "hof.jsonl"
+        assert main(["search", "run", "--objective", "brute-force", *FAST,
+                     "--output", str(jsonl_path)]) == 0
+        assert read_jsonl(jsonl_path) == rows
+        capsys.readouterr()
+
+    def test_invalid_runner_args_rejected(self, capsys):
+        assert main(["search", "run", "--jobs", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_space_rejected(self, capsys):
+        assert main(["search", "run", "--space", "warp", *FAST]) == 2
+        assert "unknown search space" in capsys.readouterr().err
+
+
+class TestSearchResumeAndReport:
+    @pytest.fixture
+    def checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "ck.jsonl"
+        assert main(["search", "run", "--objective", "brute-force", *FAST,
+                     "--checkpoint", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_resume_extends_the_budget(self, checkpoint, capsys):
+        assert main(["search", "resume", "--checkpoint", str(checkpoint),
+                     "--generations", "3", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ran 3 generations" in out
+        lines = [json.loads(line) for line in checkpoint.read_text().splitlines()]
+        assert [l["generation"] for l in lines if l["type"] == "generation"] == [0, 1, 2]
+
+    def test_report_summarises_checkpoint(self, checkpoint, capsys):
+        assert main(["search", "report", "--checkpoint", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert "space 'tiny'" in out and "progress" in out and "hall of fame" in out
+
+    def test_resume_rejects_invalid_knobs_cleanly(self, checkpoint, capsys):
+        assert main(["search", "resume", "--checkpoint", str(checkpoint),
+                     "--jobs", "0"]) == 2
+        assert main(["search", "resume", "--checkpoint", str(checkpoint),
+                     "--generations", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs must be >= 1" in err and "--generations must be >= 1" in err
+
+    def test_resume_and_report_missing_checkpoint(self, tmp_path, capsys):
+        absent = str(tmp_path / "absent.jsonl")
+        assert main(["search", "resume", "--checkpoint", absent]) == 2
+        assert main(["search", "report", "--checkpoint", absent]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err

@@ -1,0 +1,195 @@
+"""Unit tests for the search parameter spaces (knobs, operators, builders)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.search import (
+    ChoiceKnob,
+    FloatKnob,
+    IntKnob,
+    ParamSpace,
+    adversarial_space,
+    candidate_digest,
+    candidate_key,
+    get_space,
+    space_names,
+    tiny_space,
+)
+from repro.utils.rng import as_rng
+
+
+# ---------------------------------------------------------------------- #
+# knobs
+# ---------------------------------------------------------------------- #
+class TestKnobs:
+    def test_int_knob_bounds_and_mutation(self):
+        knob = IntKnob("k", 2, 8)
+        rng = as_rng(0)
+        for _ in range(200):
+            value = knob.sample(rng)
+            assert 2 <= value <= 8 and isinstance(value, int)
+            mutated = knob.mutate(value, rng)
+            assert 2 <= mutated <= 8 and isinstance(mutated, int)
+
+    def test_float_knob_bounds_and_mutation(self):
+        knob = FloatKnob("k", 0.5, 1.0)
+        rng = as_rng(1)
+        for _ in range(200):
+            value = knob.sample(rng)
+            assert 0.5 <= value <= 1.0 and isinstance(value, float)
+            mutated = knob.mutate(value, rng)
+            assert 0.5 <= mutated <= 1.0 and isinstance(mutated, float)
+
+    def test_choice_knob_samples_choices(self):
+        knob = ChoiceKnob("k", ("a", "b"))
+        rng = as_rng(2)
+        seen = {knob.sample(rng) for _ in range(50)}
+        assert seen == {"a", "b"}
+        assert knob.mutate("a", rng) in ("a", "b")
+
+    def test_knob_validation(self):
+        with pytest.raises(SearchError, match="low"):
+            IntKnob("k", 5, 1)
+        with pytest.raises(SearchError, match="no choices"):
+            ChoiceKnob("k", ())
+        with pytest.raises(SearchError, match="expects an int"):
+            IntKnob("k", 1, 3).validate(2.0)
+        with pytest.raises(SearchError, match="outside"):
+            FloatKnob("k", 0.0, 1.0).validate(1.5)
+        with pytest.raises(SearchError, match="not among"):
+            ChoiceKnob("k", ("a",)).validate("z")
+
+
+# ---------------------------------------------------------------------- #
+# candidate identity
+# ---------------------------------------------------------------------- #
+class TestCandidateIdentity:
+    def test_key_is_order_insensitive_and_json_stable(self):
+        a = {"x": 1, "y": 0.1, "z": "s"}
+        b = {"z": "s", "y": 0.1, "x": 1}
+        assert candidate_key(a) == candidate_key(b)
+        # JSON round trip (the checkpoint path) preserves the key exactly.
+        round_tripped = json.loads(json.dumps(a))
+        assert candidate_key(round_tripped) == candidate_key(a)
+
+    def test_digest_is_short_and_deterministic(self):
+        params = {"x": 1}
+        assert candidate_digest(params) == candidate_digest({"x": 1})
+        assert len(candidate_digest(params)) == 10
+        assert candidate_digest({"x": 2}) != candidate_digest(params)
+
+
+# ---------------------------------------------------------------------- #
+# spaces and operators
+# ---------------------------------------------------------------------- #
+class TestParamSpace:
+    @pytest.fixture(params=["adversarial", "tiny"])
+    def space(self, request) -> ParamSpace:
+        return get_space(request.param)
+
+    def test_registry(self):
+        assert set(space_names()) >= {"adversarial", "tiny"}
+        with pytest.raises(SearchError, match="unknown search space"):
+            get_space("warp")
+
+    def test_sample_mutate_crossover_stay_in_bounds(self, space):
+        rng = as_rng(7)
+        for _ in range(50):
+            a = space.sample(rng)
+            b = space.sample(rng)
+            space.validate(a)
+            space.validate(space.mutate(a, rng))
+            space.validate(space.crossover(a, b, rng))
+
+    def test_mutation_never_degenerates_to_identity(self, space):
+        rng = as_rng(8)
+        parent = space.sample(rng)
+        # Even at rate 0 the mutation perturbs at least one knob.
+        children = [space.mutate(parent, rng, rate=0.0) for _ in range(20)]
+        assert all(c != parent for c in children)
+
+    def test_assignments_are_plain_json_scalars(self, space):
+        params = space.sample(as_rng(9))
+        round_tripped = json.loads(json.dumps(params))
+        assert round_tripped == params
+        assert all(type(v) in (int, float, str) for v in params.values())
+
+    def test_validate_rejects_wrong_keys(self, space):
+        params = space.sample(as_rng(10))
+        params.pop(next(iter(params)))
+        with pytest.raises(SearchError, match="do not match"):
+            space.validate(params)
+
+    def test_build_scenario_is_content_addressed_and_picklable(self, space):
+        rng = as_rng(11)
+        params = space.sample(rng)
+        scenario = space.build_scenario(params, seeds=(0, 1), policies=("alg", "fifo"))
+        again = space.build_scenario(dict(params))
+        assert scenario.name == again.name == (
+            f"search-{space.name}-{candidate_digest(params)}"
+        )
+        assert pickle.loads(pickle.dumps(scenario)) == scenario
+        assert scenario.seeds == (0, 1)
+
+    def test_random_assignments_build_runnable_scenarios(self, space):
+        """Closure: any sampled/mutated point materialises into real cells."""
+        rng = as_rng(12)
+        params = space.sample(rng)
+        for _ in range(5):
+            params = space.mutate(params, rng)
+            scenario = space.build_scenario(params, policies=("alg",))
+            topology, packets, policies = scenario.materialise(0)
+            materialised = list(packets)
+            assert materialised, f"empty workload for {params}"
+            for packet in materialised:
+                assert topology.can_route(packet.source, packet.destination)
+
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(SearchError, match="unknown builder"):
+            ParamSpace(name="x", knobs=(IntKnob("a", 0, 1),), builder="nope")
+
+    def test_duplicate_knob_names_rejected(self):
+        with pytest.raises(SearchError, match="duplicate knob"):
+            ParamSpace(
+                name="x",
+                knobs=(IntKnob("a", 0, 1), IntKnob("a", 0, 2)),
+                builder="tiny-v1",
+            )
+
+
+class TestTinySpaceStaysBruteForceable:
+    def test_tiny_cells_fit_the_exhaustive_solver(self):
+        """Every tiny-space corner must stay within brute-force size limits."""
+        from repro.baselines import brute_force_optimal
+        from repro.workloads import Instance
+
+        space = tiny_space()
+        rng = as_rng(13)
+        for _ in range(10):
+            scenario = space.build_scenario(space.sample(rng), policies=("alg",))
+            topology, packets, _ = scenario.materialise(0)
+            instance = Instance(
+                name=scenario.name, topology=topology, packets=list(packets)
+            )
+            result = brute_force_optimal(instance)
+            assert result.cost >= 0.0
+
+
+class TestAdversarialSpaceCoversHandDerived:
+    def test_knob_axes_match_issue_contract(self):
+        space = adversarial_space()
+        names = {k.name for k in space.knobs}
+        assert {
+            "num_racks", "lasers_per_rack", "photodetectors_per_rack",
+            "connectivity", "intensity", "skew", "burst", "speed", "kind",
+        } <= names
+
+    def test_speed_choices_parameterisable(self):
+        space = adversarial_space(speeds=(1.0, 1.5, 2.5))
+        knob = space.knob("speed")
+        assert knob.choices == (1.0, 1.5, 2.5)
