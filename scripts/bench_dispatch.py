@@ -1,0 +1,176 @@
+"""Measure the dispatch hot path and write ``BENCH_dispatch.json``.
+
+Establishes the performance trajectory of the per-packet dispatch cost on a
+dense-contention cell (the E15 benchmark's receiver-hotspot fabric): the
+reference O(n) adjacency scan vs the incremental impact index, plus
+``run_multi`` with four impact-sharing ALG lanes vs PR 3's per-lane
+dispatch.  Every configuration is checked bit-identical against the
+reference before its timing is trusted.
+
+The JSON is committed so successive PRs can compare packets/sec on the same
+seeded instance; the ``machine`` block says which hardware produced each
+measurement (absolute numbers move between machines — the speedup ratios are
+the portable signal).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_dispatch.py [--packets N] [--racks N]
+        [--multi-packets N] [--seed N] [--output BENCH_dispatch.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core import OpportunisticLinkScheduler
+from repro.network import projector_fabric
+from repro.simulation import EngineConfig, SimulationEngine, simulate
+from repro.workloads import uniform_weights
+from repro.workloads.adversarial import iter_contention_hotspot_workload
+
+REPO = Path(__file__).resolve().parent.parent
+NUM_LANES = 4
+
+
+def build_cell(num_racks: int, num_packets: int, seed: int):
+    """The seeded dense-contention cell shared with benchmark E15."""
+    start = time.perf_counter()
+    topology = projector_fabric(
+        num_racks=num_racks, lasers_per_rack=2, photodetectors_per_rack=2, seed=seed
+    )
+    packets = list(
+        iter_contention_hotspot_workload(
+            topology,
+            num_packets=num_packets,
+            side="receiver",
+            hot_fraction=0.95,
+            arrival_rate=8.0,
+            weight_sampler=uniform_weights(1, 10),
+            seed=seed + 1,
+        )
+    )
+    return topology, packets, time.perf_counter() - start
+
+
+def time_single(topology, packets, engine_mode: str):
+    """One ALG run; returns (seconds, summary)."""
+    start = time.perf_counter()
+    result = simulate(
+        topology,
+        OpportunisticLinkScheduler(),
+        packets,
+        engine=engine_mode,
+        max_slots=10_000_000,
+    )
+    return time.perf_counter() - start, result.summary()
+
+
+def time_multi(topology, packets, engine_mode: str, share: bool):
+    """Four ALG lanes through run_multi; returns (seconds, summaries, memo stats)."""
+    engine = SimulationEngine(
+        topology,
+        config=EngineConfig(
+            engine=engine_mode, share_dispatch=share, max_slots=10_000_000
+        ),
+    )
+    lanes = {f"alg{i}": OpportunisticLinkScheduler() for i in range(NUM_LANES)}
+    start = time.perf_counter()
+    results = engine.run_multi(packets, lanes)
+    elapsed = time.perf_counter() - start
+    summaries = {name: res.summary() for name, res in results.items()}
+    return elapsed, summaries, engine.last_shared_dispatch_stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=5000)
+    parser.add_argument("--multi-packets", type=int, default=3000)
+    parser.add_argument("--racks", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=15)
+    parser.add_argument("--output", default=str(REPO / "BENCH_dispatch.json"))
+    args = parser.parse_args()
+
+    topology, packets, gen_time = build_cell(args.racks, args.packets, args.seed)
+    print(f"cell: {args.racks} racks, {len(packets)} packets "
+          f"(generated in {gen_time:.2f}s)")
+
+    reference_time, reference_summary = time_single(topology, packets, "reference")
+    indexed_time, indexed_summary = time_single(topology, packets, "indexed")
+    if indexed_summary != reference_summary:
+        print("FATAL: indexed summary diverged from the reference scan",
+              file=sys.stderr)
+        return 1
+    single_speedup = reference_time / indexed_time
+    print(f"single ALG run : reference {reference_time:.2f}s | indexed "
+          f"{indexed_time:.2f}s | speedup {single_speedup:.1f}x")
+
+    _, multi_packets, _ = build_cell(args.racks, args.multi_packets, args.seed)
+    per_lane_time, per_lane_summaries, _ = time_multi(
+        topology, multi_packets, "reference", share=False
+    )
+    shared_time, shared_summaries, memo_stats = time_multi(
+        topology, multi_packets, "indexed", share=True
+    )
+    if shared_summaries != per_lane_summaries:
+        print("FATAL: shared-dispatch lanes diverged from per-lane dispatch",
+              file=sys.stderr)
+        return 1
+    multi_speedup = per_lane_time / shared_time
+    print(f"run_multi x{NUM_LANES}  : per-lane {per_lane_time:.2f}s | shared "
+          f"{shared_time:.2f}s | speedup {multi_speedup:.1f}x | memo {memo_stats}")
+
+    payload = {
+        "benchmark": "dispatch-hot-path",
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "cell": {
+            "topology": "projector",
+            "num_racks": args.racks,
+            "lasers_per_rack": 2,
+            "photodetectors_per_rack": 2,
+            "workload": "contention-hotspot (side=receiver, hot_fraction=0.95, "
+                        "arrival_rate=8.0, uniform weights 1..10)",
+            "seed": args.seed,
+        },
+        "phases": {
+            "workload_generation_s": round(gen_time, 4),
+            "single_reference_s": round(reference_time, 4),
+            "single_indexed_s": round(indexed_time, 4),
+            "multi_per_lane_reference_s": round(per_lane_time, 4),
+            "multi_shared_indexed_s": round(shared_time, 4),
+        },
+        "single_run": {
+            "num_packets": len(packets),
+            "packets_per_s_reference": round(len(packets) / reference_time, 1),
+            "packets_per_s_indexed": round(len(packets) / indexed_time, 1),
+            "speedup": round(single_speedup, 2),
+            "bit_identical": True,
+        },
+        "run_multi": {
+            "num_packets": len(multi_packets),
+            "num_lanes": NUM_LANES,
+            "speedup_vs_per_lane": round(multi_speedup, 2),
+            "memo": memo_stats,
+            "bit_identical": True,
+        },
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,7 @@ from repro.core.algorithm import (
 from repro.core.interfaces import Dispatcher, Policy, Scheduler
 from repro.core.packet import Packet
 from repro.network.topology import TwoTierTopology
-from repro.simulation.engine import EngineConfig, SimulationEngine, simulate, simulate_multi
+from repro.simulation.engine import ENGINE_MODES, EngineConfig, SimulationEngine, simulate, simulate_multi
 from repro.simulation.results import SimulationResult
 from repro.workloads.base import Instance
 
@@ -60,6 +60,7 @@ __all__ = [
     "make_paper_policy",
     "theoretical_competitive_ratio",
     "SimulationEngine",
+    "ENGINE_MODES",
     "EngineConfig",
     "SimulationResult",
     "simulate",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.core.dispatcher import compute_edge_impact
+from repro.core.dispatcher import compute_edge_impact_auto
 from repro.core.interfaces import Dispatcher
 from repro.core.packet import (
     Assignment,
@@ -46,7 +46,7 @@ def _edge_assignment(
     pool: PendingChunkPool,
 ) -> EdgeAssignment:
     """Build an :class:`EdgeAssignment` (with chunks and recorded impact) for an edge."""
-    impact = compute_edge_impact(packet, transmitter, receiver, topology, pool)
+    impact = compute_edge_impact_auto(packet, transmitter, receiver, topology, pool)
     chunks = split_into_chunks(
         packet,
         transmitter,
@@ -201,7 +201,7 @@ class DirectFirstDispatcher(Dispatcher):
         best = None
         best_impact = None
         for (t, r) in candidates:
-            impact = compute_edge_impact(packet, t, r, topology, pool)
+            impact = compute_edge_impact_auto(packet, t, r, topology, pool)
             if best_impact is None or (impact.total, impact.edge) < (best_impact.total, best_impact.edge):
                 best_impact = impact
                 best = (t, r)

@@ -246,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
         "rows are identical)",
     )
     scen_run.add_argument(
+        "--engine", choices=("indexed", "reference"), default=None,
+        help="dispatch evaluation backend: 'indexed' uses the incremental "
+        "impact index, 'reference' the O(n) adjacency scan; rows are "
+        "bit-identical (default: each scenario's own setting)",
+    )
+    scen_run.add_argument(
         "--output", default=None,
         help="also write the rows to this path (.json document or streamed .jsonl)",
     )
@@ -639,6 +645,7 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
         chunksize=args.chunksize,
         mode=args.mode,
         retention=args.retention,
+        engine=args.engine,
         output_path=args.output,
     )
     print(

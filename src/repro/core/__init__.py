@@ -10,7 +10,15 @@ from repro.core.algorithm import (
     make_paper_policy,
     theoretical_competitive_ratio,
 )
-from repro.core.dispatcher import EdgeImpact, ImpactDispatcher, compute_edge_impact
+from repro.core.dispatcher import (
+    EdgeImpact,
+    ImpactDispatcher,
+    SharedDispatchMemo,
+    compute_edge_impact,
+    compute_edge_impact_auto,
+    compute_edge_impact_indexed,
+)
+from repro.core.impact_index import ImpactIndex
 from repro.core.interfaces import Dispatcher, Policy, Scheduler
 from repro.core.packet import (
     Assignment,
@@ -43,8 +51,12 @@ __all__ = [
     "Scheduler",
     "Policy",
     "ImpactDispatcher",
+    "ImpactIndex",
+    "SharedDispatchMemo",
     "EdgeImpact",
     "compute_edge_impact",
+    "compute_edge_impact_auto",
+    "compute_edge_impact_indexed",
     "StableMatchingScheduler",
     "OrderedGreedyScheduler",
     "OpportunisticLinkScheduler",

@@ -19,12 +19,27 @@ The packet is assigned to the edge minimising ``Δ_p(e)`` unless a direct fixed
 link exists whose weighted latency ``w_p · d_l(p)`` is no larger, in which
 case the fixed link is used.  The chosen value also becomes the dual variable
 ``α_p`` used throughout the competitive analysis (Section IV-B).
+
+Two evaluation paths compute the same numbers:
+
+* the **reference scan** (:func:`compute_edge_impact`) walks
+  ``pool.adjacent_chunks`` per candidate — O(pending chunks) each;
+* the **indexed path** (:func:`compute_edge_impact_indexed`) reads the
+  pool's incremental :class:`~repro.core.impact_index.ImpactIndex` —
+  O(log pending chunks) each.  The dispatcher picks it automatically
+  whenever the pool maintains an index (``engine="indexed"``).
+
+``w(L_p(e))`` is canonically defined as the *exact* sum of the lighter
+weights, correctly rounded once (``math.fsum`` in the scan, exact integer
+arithmetic in the index), so both paths produce bit-identical impacts — and
+hence bit-identical simulations — on any workload.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.interfaces import Dispatcher
 from repro.core.packet import (
@@ -35,10 +50,17 @@ from repro.core.packet import (
     split_into_chunks,
 )
 from repro.core.queues import PendingChunkPool
-from repro.exceptions import RoutingError
+from repro.exceptions import RoutingError, SimulationError
 from repro.network.topology import TwoTierTopology
 
-__all__ = ["ImpactDispatcher", "EdgeImpact", "compute_edge_impact"]
+__all__ = [
+    "ImpactDispatcher",
+    "EdgeImpact",
+    "SharedDispatchMemo",
+    "compute_edge_impact",
+    "compute_edge_impact_auto",
+    "compute_edge_impact_indexed",
+]
 
 
 @dataclass(frozen=True)
@@ -84,36 +106,42 @@ class EdgeImpact:
         return self.self_latency + self.blocked_by_term + self.blocks_term
 
 
-def compute_edge_impact(
-    packet: Packet,
-    transmitter: str,
-    receiver: str,
-    topology: TwoTierTopology,
-    pool: PendingChunkPool,
-) -> EdgeImpact:
-    """Compute ``Δ_p(e)`` for ``packet`` on edge ``(transmitter, receiver)``.
+def _scan_adjacency_stats(
+    pool: PendingChunkPool, transmitter: str, receiver: str, chunk_weight: float
+) -> Tuple[int, int, float]:
+    """Reference ``(num_heavier, num_lighter, lighter_weight)`` via a pool scan.
 
-    The pending chunks currently in ``pool`` play the role of the paper's set
-    ``B_p`` (chunks of packets that arrived before ``p`` and are still
-    pending); chunks adjacent to the edge form ``A_p(e)``.
+    This is the canonical definition of the three adjacency statistics: a
+    walk over ``A_p(e)`` counting the ``H``/``L`` split, with the lighter
+    weights summed *exactly* (``math.fsum``, i.e. the correctly rounded exact
+    sum, which no iteration order can change).  The incremental index must —
+    and does — reproduce these values bit for bit.
     """
-    d_e = topology.edge_delay(transmitter, receiver)
-    head = topology.head_delay(transmitter)
-    tail = topology.tail_delay(receiver)
-    chunk_weight = packet.weight / d_e
-
     num_heavier = 0
-    lighter_weight = 0.0
-    num_lighter = 0
+    lighter: List[float] = []
     for chunk in pool.adjacent_chunks(transmitter, receiver):
         # Ties go to the already-pending chunk (it belongs to an earlier
         # packet), so equality counts towards H_p(e).
         if chunk.weight >= chunk_weight:
             num_heavier += 1
         else:
-            num_lighter += 1
-            lighter_weight += chunk.weight
+            lighter.append(chunk.weight)
+    return num_heavier, len(lighter), math.fsum(lighter)
 
+
+def _make_impact(
+    packet: Packet,
+    transmitter: str,
+    receiver: str,
+    topology: TwoTierTopology,
+    d_e: int,
+    num_heavier: int,
+    num_lighter: int,
+    lighter_weight: float,
+) -> EdgeImpact:
+    """Assemble the :class:`EdgeImpact` breakdown from the adjacency statistics."""
+    head = topology.head_delay(transmitter)
+    tail = topology.tail_delay(receiver)
     self_latency = packet.weight * (head + (d_e + 1) / 2.0 + tail)
     return EdgeImpact(
         transmitter=transmitter,
@@ -127,6 +155,151 @@ def compute_edge_impact(
     )
 
 
+def compute_edge_impact(
+    packet: Packet,
+    transmitter: str,
+    receiver: str,
+    topology: TwoTierTopology,
+    pool: PendingChunkPool,
+) -> EdgeImpact:
+    """Compute ``Δ_p(e)`` for ``packet`` on edge ``(transmitter, receiver)``.
+
+    The pending chunks currently in ``pool`` play the role of the paper's set
+    ``B_p`` (chunks of packets that arrived before ``p`` and are still
+    pending); chunks adjacent to the edge form ``A_p(e)``.  This is the
+    O(pending-chunks) reference scan; :func:`compute_edge_impact_indexed`
+    answers the same query from the incremental index.
+    """
+    d_e = topology.edge_delay(transmitter, receiver)
+    chunk_weight = packet.weight / d_e
+    num_heavier, num_lighter, lighter_weight = _scan_adjacency_stats(
+        pool, transmitter, receiver, chunk_weight
+    )
+    return _make_impact(
+        packet, transmitter, receiver, topology, d_e, num_heavier, num_lighter, lighter_weight
+    )
+
+
+def compute_edge_impact_indexed(
+    packet: Packet,
+    transmitter: str,
+    receiver: str,
+    topology: TwoTierTopology,
+    pool: PendingChunkPool,
+) -> EdgeImpact:
+    """Compute ``Δ_p(e)`` from the pool's incremental impact index.
+
+    Requires a pool constructed with ``impact_index=True`` (or with the index
+    enabled later); produces an :class:`EdgeImpact` bit-identical to
+    :func:`compute_edge_impact` on the same pool state.
+    """
+    index = pool.impact_index
+    if index is None:
+        raise SimulationError(
+            "compute_edge_impact_indexed needs a pool with its impact index "
+            "enabled; construct PendingChunkPool(impact_index=True) or call "
+            "enable_impact_index()"
+        )
+    d_e = topology.edge_delay(transmitter, receiver)
+    chunk_weight = packet.weight / d_e
+    num_heavier, num_lighter, lighter_weight = index.query(
+        transmitter, receiver, chunk_weight
+    )
+    return _make_impact(
+        packet, transmitter, receiver, topology, d_e, num_heavier, num_lighter, lighter_weight
+    )
+
+
+def compute_edge_impact_auto(
+    packet: Packet,
+    transmitter: str,
+    receiver: str,
+    topology: TwoTierTopology,
+    pool: PendingChunkPool,
+) -> EdgeImpact:
+    """Compute ``Δ_p(e)`` through the fastest path the pool supports.
+
+    Uses the incremental index when the pool maintains one (the
+    ``engine="indexed"`` lanes) and the reference scan otherwise (reference
+    lanes, duck-typed pools).  Every dispatcher that records or compares
+    impacts should call this instead of hard-wiring the scan, so baseline
+    lanes benefit from the index they already pay to maintain.
+    """
+    if getattr(pool, "impact_index", None) is not None:
+        return compute_edge_impact_indexed(packet, transmitter, receiver, topology, pool)
+    return compute_edge_impact(packet, transmitter, receiver, topology, pool)
+
+
+#: A dispatch decision reduced to plain data: ``(use_fixed, transmitter,
+#: receiver, edge_delay, impact)``.  Small, immutable and exactly comparable,
+#: which is what the shared-dispatch memo stores and validates.
+_Decision = Tuple[bool, Optional[str], Optional[str], int, float]
+
+
+class SharedDispatchMemo:
+    """Cross-lane dispatch cache used by :meth:`SimulationEngine.run_multi`.
+
+    Policy lanes whose dispatchers share the impact rule register one memo
+    per group.  The first lane to dispatch an arrival computes the decision
+    and stores it under ``(packet_id, pool fingerprint)``; every other lane
+    whose pool holds an impact-equivalent chunk multiset (same fingerprint)
+    reuses it instead of re-evaluating all candidate edges.  Lanes whose
+    pools have diverged (different schedulers transmit different chunks) miss
+    the memo and fall back to their own evaluation, so sharing is always
+    sound — never required.
+
+    Entries are evicted once every lane of the group has dispatched the
+    packet, so the memo holds at most the arrival window the round-robin
+    stepper keeps in flight anyway.  With ``validate=True`` every hit is
+    re-derived from the hitting lane's own pool and compared exactly — the
+    cross-lane invariant check behind the engine's
+    ``validate_shared_dispatch`` debug flag.
+    """
+
+    __slots__ = ("group_size", "validate", "hits", "misses", "_entries")
+
+    def __init__(self, group_size: int, validate: bool = False) -> None:
+        if group_size < 2:
+            raise SimulationError(
+                f"a shared-dispatch group needs at least two lanes, got {group_size}"
+            )
+        self.group_size = group_size
+        self.validate = validate
+        self.hits = 0
+        self.misses = 0
+        # packet id -> [lanes served, {pool fingerprint: decision}]
+        self._entries: Dict[int, list] = {}
+
+    def lookup(self, packet_id: int, fingerprint: int) -> Optional[_Decision]:
+        """The memoised decision for an impact-equivalent pool, if any."""
+        entry = self._entries.get(packet_id)
+        if entry is None:
+            return None
+        decision = entry[1].get(fingerprint)
+        if decision is not None:
+            self.hits += 1
+            self._account(packet_id, entry)
+        return decision
+
+    def store(self, packet_id: int, fingerprint: int, decision: _Decision) -> None:
+        """Record a freshly computed decision for other lanes to reuse."""
+        entry = self._entries.get(packet_id)
+        if entry is None:
+            entry = self._entries[packet_id] = [0, {}]
+        entry[1][fingerprint] = decision
+        self.misses += 1
+        self._account(packet_id, entry)
+
+    def _account(self, packet_id: int, entry: list) -> None:
+        entry[0] += 1
+        if entry[0] >= self.group_size:
+            del self._entries[packet_id]
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the number of in-flight entries."""
+        return {"hits": self.hits, "misses": self.misses, "pending": len(self._entries)}
+
+
 class ImpactDispatcher(Dispatcher):
     """The paper's greedy minimum-worst-case-impact dispatch rule."""
 
@@ -138,10 +311,22 @@ class ImpactDispatcher(Dispatcher):
         #: Figure 2 reproduction and by the analysis tests).
         self.record_decisions = record_decisions
         self.decision_log: List[Dict[str, object]] = []
+        #: Set by ``SimulationEngine.run_multi`` for lanes grouped into a
+        #: shared-dispatch lane; ``None`` for every single-policy run.
+        self.shared_memo: Optional[SharedDispatchMemo] = None
 
     def reset(self) -> None:
-        """Clear the decision log."""
+        """Clear the decision log and detach from any shared-dispatch group."""
         self.decision_log = []
+        self.shared_memo = None
+
+    def dispatch_sharing_key(self) -> Optional[Hashable]:
+        """All plain impact dispatchers compute one rule and may share lanes.
+
+        Recording dispatchers keep their own full per-candidate logs, which a
+        memo hit would silently truncate, so they never share.
+        """
+        return None if self.record_decisions else ("impact",)
 
     # ------------------------------------------------------------------ #
     def evaluate_candidates(
@@ -150,11 +335,108 @@ class ImpactDispatcher(Dispatcher):
         topology: TwoTierTopology,
         pool: PendingChunkPool,
     ) -> List[EdgeImpact]:
-        """Return the impact breakdown of every candidate edge of ``packet``."""
+        """Return the impact breakdown of every candidate edge of ``packet``.
+
+        Uses the pool's incremental index when it maintains one, the
+        reference scan otherwise (e.g. for the duck-typed naive pools of the
+        differential harness); the breakdowns are bit-identical either way.
+        """
         candidates = topology.candidate_edges(packet.source, packet.destination)
         return [
-            compute_edge_impact(packet, t, r, topology, pool) for (t, r) in candidates
+            compute_edge_impact_auto(packet, t, r, topology, pool)
+            for (t, r) in candidates
         ]
+
+    # ------------------------------------------------------------------ #
+    def _decide(
+        self,
+        packet: Packet,
+        topology: TwoTierTopology,
+        pool: PendingChunkPool,
+    ) -> _Decision:
+        """Fold the dispatch rule into a plain :data:`_Decision` tuple.
+
+        Streams the candidate impacts through a running minimum instead of
+        materialising the full ``List[EdgeImpact]`` (and its per-candidate
+        dataclass objects) — the hot path when ``record_decisions`` is off.
+        The float expressions mirror :func:`compute_edge_impact` term for
+        term, so the folded minimum is bit-identical to the materialised one.
+        """
+        index = getattr(pool, "impact_index", None)
+        weight = packet.weight
+        best_total: Optional[float] = None
+        best_edge: Optional[Tuple[str, str]] = None
+        best_delay = 0
+        for transmitter, receiver in topology.candidate_edges(
+            packet.source, packet.destination
+        ):
+            d_e = topology.edge_delay(transmitter, receiver)
+            chunk_weight = weight / d_e
+            if index is not None:
+                num_heavier, _, lighter_weight = index.query(
+                    transmitter, receiver, chunk_weight
+                )
+            else:
+                num_heavier, _, lighter_weight = _scan_adjacency_stats(
+                    pool, transmitter, receiver, chunk_weight
+                )
+            self_latency = weight * (
+                topology.head_delay(transmitter)
+                + (d_e + 1) / 2.0
+                + topology.tail_delay(receiver)
+            )
+            total = self_latency + weight * num_heavier + d_e * lighter_weight
+            if (
+                best_total is None
+                or (total, (transmitter, receiver)) < (best_total, best_edge)
+            ):
+                best_total = total
+                best_edge = (transmitter, receiver)
+                best_delay = d_e
+
+        has_fixed = topology.has_fixed_link(packet.source, packet.destination)
+        if best_total is None and not has_fixed:
+            raise RoutingError(
+                f"packet {packet.packet_id} ({packet.source}->{packet.destination}) "
+                "has no reconfigurable edge and no fixed link"
+            )
+        if has_fixed:
+            fixed_latency = weight * topology.fixed_link_delay(
+                packet.source, packet.destination
+            )
+            if best_total is None or fixed_latency <= best_total:
+                return (True, None, None, 0, fixed_latency)
+        assert best_edge is not None and best_total is not None
+        return (False, best_edge[0], best_edge[1], best_delay, best_total)
+
+    def _build_assignment(
+        self, packet: Packet, topology: TwoTierTopology, decision: _Decision
+    ) -> Assignment:
+        """Materialise a decision tuple into a (lane-local) assignment."""
+        use_fixed, transmitter, receiver, edge_delay, impact = decision
+        if use_fixed:
+            return FixedLinkAssignment(
+                packet=packet,
+                link_delay=topology.fixed_link_delay(packet.source, packet.destination),
+                impact=impact,
+            )
+        assert transmitter is not None and receiver is not None
+        chunks = split_into_chunks(
+            packet,
+            transmitter,
+            receiver,
+            edge_delay=edge_delay,
+            head_delay=topology.head_delay(transmitter),
+            tail_delay=topology.tail_delay(receiver),
+        )
+        return EdgeAssignment(
+            packet=packet,
+            transmitter=transmitter,
+            receiver=receiver,
+            edge_delay=edge_delay,
+            impact=impact,
+            chunks=chunks,
+        )
 
     def dispatch(
         self,
@@ -171,6 +453,30 @@ class ImpactDispatcher(Dispatcher):
             If the packet has neither a candidate reconfigurable edge nor a
             fixed link.
         """
+        memo = self.shared_memo
+        if memo is not None and not self.record_decisions:
+            fingerprint = pool.impact_fingerprint
+            decision = memo.lookup(packet.packet_id, fingerprint)
+            if decision is None:
+                decision = self._decide(packet, topology, pool)
+                memo.store(packet.packet_id, fingerprint, decision)
+            elif memo.validate:
+                expected = self._decide(packet, topology, pool)
+                if expected != decision:
+                    raise SimulationError(
+                        f"shared-dispatch invariant violated for packet "
+                        f"{packet.packet_id}: memoised decision {decision!r} != "
+                        f"this lane's own {expected!r} (fingerprint collision "
+                        "or index corruption)"
+                    )
+            return self._build_assignment(packet, topology, decision)
+
+        if not self.record_decisions:
+            return self._build_assignment(
+                packet, topology, self._decide(packet, topology, pool)
+            )
+
+        # Recording path: materialise every candidate's breakdown for the log.
         impacts = self.evaluate_candidates(packet, topology, pool)
         best: Optional[EdgeImpact] = None
         for impact in impacts:
@@ -194,43 +500,23 @@ class ImpactDispatcher(Dispatcher):
         if has_fixed and (best is None or fixed_latency <= best.total):
             use_fixed = True
 
-        assignment: Assignment
         if use_fixed:
             assert fixed_latency is not None
-            assignment = FixedLinkAssignment(
-                packet=packet,
-                link_delay=topology.fixed_link_delay(packet.source, packet.destination),
-                impact=fixed_latency,
-            )
+            decision: _Decision = (True, None, None, 0, fixed_latency)
         else:
             assert best is not None
-            chunks = split_into_chunks(
-                packet,
-                best.transmitter,
-                best.receiver,
-                edge_delay=best.edge_delay,
-                head_delay=topology.head_delay(best.transmitter),
-                tail_delay=topology.tail_delay(best.receiver),
-            )
-            assignment = EdgeAssignment(
-                packet=packet,
-                transmitter=best.transmitter,
-                receiver=best.receiver,
-                edge_delay=best.edge_delay,
-                impact=best.total,
-                chunks=chunks,
-            )
+            decision = (False, best.transmitter, best.receiver, best.edge_delay, best.total)
+        assignment = self._build_assignment(packet, topology, decision)
 
-        if self.record_decisions:
-            self.decision_log.append(
-                {
-                    "packet_id": packet.packet_id,
-                    "now": now,
-                    "candidates": impacts,
-                    "fixed_latency": fixed_latency,
-                    "chosen_fixed": use_fixed,
-                    "impact": assignment.impact,
-                    "edge": None if use_fixed else assignment.edge,
-                }
-            )
+        self.decision_log.append(
+            {
+                "packet_id": packet.packet_id,
+                "now": now,
+                "candidates": impacts,
+                "fixed_latency": fixed_latency,
+                "chosen_fixed": use_fixed,
+                "impact": assignment.impact,
+                "edge": None if use_fixed else assignment.edge,
+            }
+        )
         return assignment

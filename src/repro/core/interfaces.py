@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Hashable, List, Optional
 
 from repro.core.packet import Assignment, Chunk, Packet
 
@@ -69,6 +69,19 @@ class Dispatcher(abc.ABC):
 
     def reset(self) -> None:
         """Clear any per-run internal state (default: nothing to clear)."""
+
+    def dispatch_sharing_key(self) -> Optional[Hashable]:
+        """Key identifying dispatchers that compute the *same* dispatch rule.
+
+        :meth:`~repro.simulation.engine.SimulationEngine.run_multi` groups
+        lanes whose dispatchers return the same non-``None`` key and lets
+        them share one impact evaluation per (arrival, pool state) through a
+        :class:`~repro.core.dispatcher.SharedDispatchMemo`.  A dispatcher
+        returning a non-``None`` key must expose a writable ``shared_memo``
+        attribute and consult it in :meth:`dispatch`.  The default — no
+        sharing — is right for any stateful or randomised rule.
+        """
+        return None
 
 
 class Scheduler(abc.ABC):

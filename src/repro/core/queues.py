@@ -21,8 +21,9 @@ the simulation engine.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.core.impact_index import ImpactIndex
 from repro.core.packet import Chunk
 from repro.exceptions import SimulationError
 from repro.utils.ordering import chunk_priority_key
@@ -38,9 +39,18 @@ def _sorted_remove(chunks: List[Chunk], chunk: Chunk) -> None:
 
 
 class PendingChunkPool:
-    """Container of pending (dispatched, not fully transmitted) chunks."""
+    """Container of pending (dispatched, not fully transmitted) chunks.
 
-    def __init__(self) -> None:
+    With ``impact_index=True`` the pool additionally maintains an
+    :class:`~repro.core.impact_index.ImpactIndex` over its chunks, which the
+    impact dispatcher uses to answer per-candidate adjacency statistics in
+    O(log n) instead of scanning ``adjacent_chunks`` — the ``engine="indexed"``
+    hot path.  The index mirrors pool membership exactly; it can also be
+    switched on later with :meth:`enable_impact_index` (backfilling the
+    current chunks), which dispatcher-level tests use.
+    """
+
+    def __init__(self, *, impact_index: bool = False) -> None:
         self._by_edge: Dict[Tuple[str, str], List[Chunk]] = {}
         self._by_transmitter: Dict[str, List[Chunk]] = {}
         self._by_receiver: Dict[str, List[Chunk]] = {}
@@ -51,6 +61,13 @@ class PendingChunkPool:
         # reports transmitted work through :meth:`debit_work`.
         self._size = 0
         self._pending_work = 0.0
+        self._impact_index: Optional[ImpactIndex] = ImpactIndex() if impact_index else None
+        # Commutative multiset hash over (transmitter, receiver, weight) —
+        # the only chunk attributes the impact rule reads — maintained on
+        # every add/remove.  Two pools with equal fingerprints hold (up to
+        # hash collision) impact-equivalent content, which is what lets
+        # ``run_multi`` share dispatch decisions across policy lanes.
+        self._impact_fingerprint = 0
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -64,6 +81,9 @@ class PendingChunkPool:
         self._all.add(chunk)
         self._size += 1
         self._pending_work += chunk.remaining_work
+        self._impact_fingerprint += hash((chunk.transmitter, chunk.receiver, chunk.weight))
+        if self._impact_index is not None:
+            self._impact_index.add(chunk)
         insort(self._sorted, chunk, key=chunk_priority_key)
         insort(self._by_edge.setdefault(chunk.edge, []), chunk, key=chunk_priority_key)
         insort(
@@ -89,6 +109,9 @@ class PendingChunkPool:
         self._pending_work -= chunk.remaining_work
         if self._size == 0:
             self._pending_work = 0.0  # keep float drift from accumulating across bursts
+        self._impact_fingerprint -= hash((chunk.transmitter, chunk.receiver, chunk.weight))
+        if self._impact_index is not None:
+            self._impact_index.discard(chunk)
         _sorted_remove(self._sorted, chunk)
         edge_list = self._by_edge[chunk.edge]
         _sorted_remove(edge_list, chunk)
@@ -112,6 +135,9 @@ class PendingChunkPool:
         self._sorted.clear()
         self._size = 0
         self._pending_work = 0.0
+        self._impact_fingerprint = 0
+        if self._impact_index is not None:
+            self._impact_index.clear()
 
     def debit_work(self, amount: float) -> None:
         """Record that ``amount`` chunk-units of pending work were transmitted.
@@ -122,9 +148,33 @@ class PendingChunkPool:
         """
         self._pending_work -= amount
 
+    def enable_impact_index(self) -> ImpactIndex:
+        """Switch the incremental impact index on, backfilling current chunks."""
+        if self._impact_index is None:
+            index = ImpactIndex()
+            for chunk in self._sorted:
+                index.add(chunk)
+            self._impact_index = index
+        return self._impact_index
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+    @property
+    def impact_index(self) -> Optional[ImpactIndex]:
+        """The maintained impact index, or ``None`` when running reference-style."""
+        return self._impact_index
+
+    @property
+    def impact_fingerprint(self) -> int:
+        """Commutative hash of the pool's ``(transmitter, receiver, weight)`` multiset.
+
+        Equal multisets always produce equal fingerprints; distinct multisets
+        collide only with hash-collision probability.  ``run_multi`` keys its
+        shared-dispatch memo on this value (a debug flag re-verifies hits).
+        """
+        return self._impact_fingerprint
+
     def __len__(self) -> int:
         return self._size
 

@@ -41,7 +41,7 @@ from repro.network.builders import (
     single_tier_crossbar,
 )
 from repro.network.topology import TwoTierTopology
-from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.simulation.engine import ENGINE_MODES, EngineConfig, SimulationEngine
 from repro.simulation.results import SimulationResult
 from repro.utils.rng import SeedSequenceFactory
 from repro.workloads.adversarial import (
@@ -363,6 +363,11 @@ class Scenario:
         cells as a base scenario — e.g. a speed-augmentation grid running
         one instance at several speeds — set this to the base scenario's
         name, so only the engine configuration differs between variants.
+    engine:
+        Dispatch evaluation backend (``"indexed"`` or ``"reference"``, see
+        :class:`~repro.simulation.engine.EngineConfig`); results are
+        bit-identical, so this is a performance knob, overridable per run
+        through :meth:`ScenarioMatrix.to_experiment_spec`.
     """
 
     name: str
@@ -375,6 +380,7 @@ class Scenario:
     tags: Tuple[str, ...] = ()
     max_slots: int = 1_000_000
     seed_key: Optional[str] = None
+    engine: str = "indexed"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -383,6 +389,11 @@ class Scenario:
             raise ScenarioError(f"scenario {self.name!r} lists no policies")
         if not self.seeds:
             raise ScenarioError(f"scenario {self.name!r} lists no seeds")
+        if self.engine not in ENGINE_MODES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: engine must be one of {ENGINE_MODES}, "
+                f"got {self.engine!r}"
+            )
 
     def materialise(
         self, seed: int
@@ -427,11 +438,15 @@ def _scenario_cell_task(task: ExperimentTask) -> List[Dict[str, Any]]:
     scenario: Scenario = task.params["scenario"]
     seed: int = task.params["seed"]
     retention: str = task.params.get("retention", "full")
+    engine_mode: str = task.params.get("engine") or scenario.engine
     topology, packets, policies = scenario.materialise(seed)
     engine = SimulationEngine(
         topology,
         config=EngineConfig(
-            speed=scenario.speed, max_slots=scenario.max_slots, retention=retention
+            speed=scenario.speed,
+            max_slots=scenario.max_slots,
+            retention=retention,
+            engine=engine_mode,
         ),
     )
     results = engine.run_multi(packets, policies)
@@ -444,12 +459,16 @@ def _scenario_policy_task(task: ExperimentTask) -> Dict[str, Any]:
     seed: int = task.params["seed"]
     policy_name: str = task.params["policy_name"]
     retention: str = task.params.get("retention", "full")
+    engine_mode: str = task.params.get("engine") or scenario.engine
     topology, packets, policies = scenario.materialise(seed)
     engine = SimulationEngine(
         topology,
         policies[policy_name],
         EngineConfig(
-            speed=scenario.speed, max_slots=scenario.max_slots, retention=retention
+            speed=scenario.speed,
+            max_slots=scenario.max_slots,
+            retention=retention,
+            engine=engine_mode,
         ),
     )
     return _summary_row(scenario, seed, policy_name, engine.run(packets))
@@ -486,7 +505,7 @@ class ScenarioMatrix:
         return [(s, seed) for s in self.scenarios for seed in s.seeds]
 
     def to_experiment_spec(
-        self, mode: str = "shared", retention: str = "full"
+        self, mode: str = "shared", retention: str = "full", engine: Optional[str] = None
     ) -> ExperimentSpec:
         """Expand the matrix into an :class:`ExperimentSpec`.
 
@@ -494,14 +513,17 @@ class ScenarioMatrix:
         of the cell's policies in a single ``run_multi`` pass;
         ``mode="per-policy"`` makes one task per (cell, policy), each
         rebuilding topology and workload — same rows, the pre-scenario
-        architecture.  Row order and contents are identical across modes and
-        jobs counts.
+        architecture.  ``engine`` overrides every scenario's dispatch backend
+        (``None`` keeps each scenario's own).  Row order and contents are
+        identical across modes, engines and jobs counts.
         """
         if mode not in SCENARIO_MODES:
             raise ScenarioError(f"mode must be one of {SCENARIO_MODES}, got {mode!r}")
+        if engine is not None and engine not in ENGINE_MODES:
+            raise ScenarioError(f"engine must be one of {ENGINE_MODES}, got {engine!r}")
         if mode == "shared":
             grid = [
-                {"scenario": scenario, "seed": seed, "retention": retention}
+                {"scenario": scenario, "seed": seed, "retention": retention, "engine": engine}
                 for scenario, seed in self.cells()
             ]
             return ExperimentSpec(
@@ -513,6 +535,7 @@ class ScenarioMatrix:
                 "seed": seed,
                 "policy_name": policy_name,
                 "retention": retention,
+                "engine": engine,
             }
             for scenario, seed in self.cells()
             for policy_name in scenario.policies
@@ -527,11 +550,12 @@ class ScenarioMatrix:
         chunksize: int = 1,
         mode: str = "shared",
         retention: str = "full",
+        engine: Optional[str] = None,
         output_path: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Run every cell and return one row per (scenario, seed, policy)."""
         return run_experiment(
-            self.to_experiment_spec(mode=mode, retention=retention),
+            self.to_experiment_spec(mode=mode, retention=retention, engine=engine),
             jobs=jobs,
             chunksize=chunksize,
             output_path=output_path,

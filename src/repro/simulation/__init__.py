@@ -1,7 +1,7 @@
 """Time-slotted simulation of two-tier reconfigurable datacenter fabrics."""
 
 from repro.simulation.accumulators import CompensatedSum, OnlineSummary, compensated_total
-from repro.simulation.engine import EngineConfig, SimulationEngine, simulate, simulate_multi
+from repro.simulation.engine import ENGINE_MODES, EngineConfig, SimulationEngine, simulate, simulate_multi
 from repro.simulation.metrics import (
     LatencyStatistics,
     compare_policies,
@@ -23,6 +23,7 @@ from repro.simulation.trace import (
 )
 
 __all__ = [
+    "ENGINE_MODES",
     "EngineConfig",
     "SimulationEngine",
     "simulate",

@@ -56,10 +56,16 @@ from repro.simulation.trace import (
     TransmissionEvent,
 )
 
-__all__ = ["EngineConfig", "SimulationEngine", "simulate", "simulate_multi"]
+__all__ = ["ENGINE_MODES", "EngineConfig", "SimulationEngine", "simulate", "simulate_multi"]
 
 #: Numerical tolerance used to snap remaining chunk work to zero.
 _WORK_EPSILON = 1e-9
+
+#: Dispatch evaluation backends: ``"indexed"`` maintains the pool's
+#: incremental impact index (O(log n) per candidate edge), ``"reference"``
+#: re-scans the adjacency lists (the historical O(n) loop kept for
+#: differential testing).  Both produce bit-identical results.
+ENGINE_MODES = ("indexed", "reference")
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,24 @@ class EngineConfig:
         per line, see :class:`~repro.simulation.trace.SlotTraceWriter`) and
         then discarded, independent of ``record_trace`` — the streamed trace
         of an arbitrarily long run costs O(1) memory.
+    engine:
+        Dispatch evaluation backend: ``"indexed"`` (default) gives every lane
+        a pool that maintains the incremental impact index, turning each
+        candidate-edge evaluation into an O(log n) rank query;
+        ``"reference"`` keeps the historical O(n) adjacency scan.  Results
+        are bit-identical; the reference loop remains the differential-test
+        oracle and the fallback while debugging the index.
+    share_dispatch:
+        Whether :meth:`SimulationEngine.run_multi` lets lanes whose
+        dispatchers share a rule (same ``dispatch_sharing_key``) reuse one
+        impact evaluation per (arrival, pool state) through a
+        :class:`~repro.core.dispatcher.SharedDispatchMemo`.  Sharing never
+        changes results (lanes with diverged pools miss the memo); disabling
+        it replays the PR 3 per-lane dispatch for benchmarking.
+    validate_shared_dispatch:
+        Debug flag: re-derive every shared-dispatch memo hit from the
+        hitting lane's own pool and fail loudly on any mismatch (the
+        cross-lane invariant check; costs the sharing speedup).
     """
 
     speed: float = 1.0
@@ -113,6 +137,9 @@ class EngineConfig:
     slot_skipping: bool = True
     retention: str = "full"
     trace_path: Optional[str] = None
+    engine: str = "indexed"
+    share_dispatch: bool = True
+    validate_shared_dispatch: bool = False
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
@@ -122,6 +149,10 @@ class EngineConfig:
         if self.retention not in RETENTION_MODES:
             raise ValueError(
                 f"retention must be one of {RETENTION_MODES}, got {self.retention!r}"
+            )
+        if self.engine not in ENGINE_MODES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
             )
 
 
@@ -436,7 +467,7 @@ class _PolicyLane:
         self.recorder = recorder
         self.result = result
         self.writer = writer
-        self.pool = PendingChunkPool()
+        self.pool = PendingChunkPool(impact_index=engine.config.engine == "indexed")
         self._slots_simulated = 0
         self._aggregate = engine.config.retention == "aggregate"
         self._want_events = engine.config.record_trace or writer is not None
@@ -539,14 +570,15 @@ class SimulationEngine:
         record_trace: Optional[bool] = None,
         max_slots: Optional[int] = None,
         retention: Optional[str] = None,
+        engine: Optional[str] = None,
     ) -> None:
         """Create an engine for ``policy`` on ``topology``.
 
         ``policy`` may be ``None`` for an engine used exclusively through
         :meth:`run_multi` (which takes its policies per call).  ``speed``,
-        ``record_trace``, ``max_slots`` and ``retention`` are keyword
-        shortcuts that override the corresponding :class:`EngineConfig`
-        fields.
+        ``record_trace``, ``max_slots``, ``retention`` and ``engine`` are
+        keyword shortcuts that override the corresponding
+        :class:`EngineConfig` fields.
         """
         topology.freeze()
         self.topology = topology
@@ -560,7 +592,13 @@ class SimulationEngine:
             slot_skipping=base.slot_skipping,
             retention=base.retention if retention is None else retention,
             trace_path=base.trace_path,
+            engine=base.engine if engine is None else engine,
+            share_dispatch=base.share_dispatch,
+            validate_shared_dispatch=base.validate_shared_dispatch,
         )
+        #: Hit/miss statistics of the last :meth:`run_multi` shared-dispatch
+        #: groups (one dict per group), for benchmarks and diagnostics.
+        self.last_shared_dispatch_stats: List[Dict[str, int]] = []
 
     # ------------------------------------------------------------------ #
     # public API
@@ -638,12 +676,16 @@ class SimulationEngine:
             )
         source = self._make_source(packets)  # validates before any file is touched
         writer = self._make_writer(source)
+        shared_dispatchers: List[Policy] = []
+        self.last_shared_dispatch_stats = []
         try:
             buffer = _SharedArrivalBuffer(source)
             lanes = {
                 name: self._make_lane(policy, buffer.view(), writer)
                 for name, policy in policies.items()
             }
+            memos = self._attach_shared_dispatch(list(policies.values()))
+            shared_dispatchers = [policy for policy, _ in memos]
             # Round-robin one slot per lane per round: lanes stay roughly in
             # lockstep, so the shared buffer holds only the narrow window
             # between the fastest and the slowest lane.
@@ -655,10 +697,46 @@ class SimulationEngine:
                 buffer.release_before(
                     min(lane.arrivals.position for lane in lanes.values())
                 )
+            self.last_shared_dispatch_stats = [
+                memo.stats() for memo in {id(m): m for _, m in memos}.values()
+            ]
         finally:
             if writer is not None:
                 writer.close()
+            for policy in shared_dispatchers:
+                policy.dispatcher.shared_memo = None
         return {name: lane.result for name, lane in lanes.items()}
+
+    def _attach_shared_dispatch(self, policies: Sequence[Policy]):
+        """Group impact-sharing lanes and wire one dispatch memo per group.
+
+        Lanes whose dispatchers return the same non-``None``
+        ``dispatch_sharing_key`` evaluate one arrival's candidate edges once
+        per distinct pool state instead of once per lane (see
+        :class:`~repro.core.dispatcher.SharedDispatchMemo`).  Returns the
+        ``(policy, memo)`` pairs that were wired, so the caller can detach
+        the memos when the run ends.
+        """
+        from repro.core.dispatcher import SharedDispatchMemo
+
+        pairs: List[Tuple[Policy, SharedDispatchMemo]] = []
+        if not self.config.share_dispatch or len(policies) < 2:
+            return pairs
+        groups: Dict[object, List[Policy]] = {}
+        for policy in policies:
+            key = policy.dispatcher.dispatch_sharing_key()
+            if key is not None:
+                groups.setdefault(key, []).append(policy)
+        for group in groups.values():
+            if len(group) < 2:
+                continue
+            memo = SharedDispatchMemo(
+                len(group), validate=self.config.validate_shared_dispatch
+            )
+            for policy in group:
+                policy.dispatcher.shared_memo = memo
+                pairs.append((policy, memo))
+        return pairs
 
     # ------------------------------------------------------------------ #
     # lane plumbing
@@ -837,6 +915,7 @@ def simulate(
     max_slots: int = 1_000_000,
     retention: str = "full",
     trace_path: Optional[str] = None,
+    engine: str = "indexed",
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`.
 
@@ -849,7 +928,7 @@ def simulate(
     >>> res.all_delivered
     True
     """
-    engine = SimulationEngine(
+    runner = SimulationEngine(
         topology,
         policy,
         EngineConfig(
@@ -858,9 +937,10 @@ def simulate(
             max_slots=max_slots,
             retention=retention,
             trace_path=trace_path,
+            engine=engine,
         ),
     )
-    return engine.run(packets)
+    return runner.run(packets)
 
 
 def simulate_multi(
@@ -870,6 +950,7 @@ def simulate_multi(
     speed: float = 1.0,
     max_slots: int = 1_000_000,
     retention: str = "full",
+    engine: str = "indexed",
 ) -> Dict[str, SimulationResult]:
     """One-call wrapper around :meth:`SimulationEngine.run_multi`.
 
@@ -894,8 +975,10 @@ def simulate_multi(
     >>> all(res.all_delivered for res in results.values())
     True
     """
-    engine = SimulationEngine(
+    runner = SimulationEngine(
         topology,
-        config=EngineConfig(speed=speed, max_slots=max_slots, retention=retention),
+        config=EngineConfig(
+            speed=speed, max_slots=max_slots, retention=retention, engine=engine
+        ),
     )
-    return engine.run_multi(packets, policies)
+    return runner.run_multi(packets, policies)

@@ -226,6 +226,16 @@ class TestScenariosCommand:
         per_policy = capsys.readouterr().out.splitlines()[1:]
         assert shared == per_policy
 
+    def test_run_engines_agree(self, capsys):
+        """--engine reference and --engine indexed print identical rows."""
+        assert main(["scenarios", "run", "--scenario", "tiny-random",
+                     "--engine", "reference"]) == 0
+        reference = capsys.readouterr().out.splitlines()[1:]
+        assert main(["scenarios", "run", "--scenario", "tiny-random",
+                     "--engine", "indexed"]) == 0
+        indexed = capsys.readouterr().out.splitlines()[1:]
+        assert reference == indexed
+
     def test_run_writes_output(self, tmp_path, capsys):
         path = tmp_path / "rows.jsonl"
         assert main(["scenarios", "run", "--scenario", "figure1",

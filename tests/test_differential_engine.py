@@ -242,7 +242,8 @@ def _differential_scenarios() -> List[Tuple[Scenario, int]]:
                 "zipf", {"num_packets": 40, "exponent": 1.2, "arrival_rate": 2.0},
                 weights=("pareto", 1.5),
             ),
-            policies=("alg", "random", "maxweight", "islip", "direct-first"),
+            policies=("alg", "random", "maxweight", "islip", "direct-first",
+                      "impact+fifo"),
         ),
         7,
     ))
@@ -275,7 +276,17 @@ _CELL_IDS = [f"{scenario.name}-s{seed}" for scenario, seed in _CELLS]
 
 @pytest.mark.parametrize("scenario,seed", _CELLS, ids=_CELL_IDS)
 def test_naive_vs_fast_vs_run_multi(scenario: Scenario, seed: int) -> None:
-    """All three evaluation paths agree bit-for-bit on every summary number."""
+    """All evaluation paths agree bit-for-bit on every summary number.
+
+    The naive loop (which uses the reference adjacency scan by construction —
+    its pool maintains no impact index) anchors the comparison; the
+    production paths are exercised under both the ``indexed`` and the
+    ``reference`` dispatch backend, and ``run_multi`` additionally under
+    shared-dispatch lanes with the cross-lane invariant check enabled and
+    under the PR 3 per-lane dispatch (sharing off).  Several cells pair
+    ``alg`` with ``impact+fifo`` — two policies sharing the impact rule — so
+    the memo genuinely activates, including at speed 1.7 (``diff-delays``).
+    """
     topology, stream, policies = scenario.materialise(seed)
     packets = list(stream)
 
@@ -285,39 +296,47 @@ def test_naive_vs_fast_vs_run_multi(scenario: Scenario, seed: int) -> None:
         for name, policy in policies.items()
     }
 
-    # Path 2: the production fast path, one policy at a time.
-    fast = {
-        name: simulate(topology, policy, packets, speed=scenario.speed).summary()
-        for name, policy in policies.items()
-    }
+    for engine_mode in ("indexed", "reference"):
+        # Path 2: the production fast path, one policy at a time.
+        fast = {
+            name: simulate(
+                topology, policy, packets, speed=scenario.speed, engine=engine_mode
+            ).summary()
+            for name, policy in policies.items()
+        }
 
-    # Path 3: one shared-stream multi-policy pass (both retentions).
-    engine = SimulationEngine(
-        topology, config=EngineConfig(speed=scenario.speed)
-    )
-    multi = {
-        name: result.summary()
-        for name, result in engine.run_multi(packets, policies).items()
-    }
-    agg_engine = SimulationEngine(
-        topology, config=EngineConfig(speed=scenario.speed, retention="aggregate")
-    )
-    multi_agg = {
-        name: result.summary()
-        for name, result in agg_engine.run_multi(iter(packets), policies).items()
-    }
+        # Path 3: shared-stream multi-policy passes — shared-dispatch lanes
+        # with hit validation, the PR 3 per-lane dispatch, and aggregate
+        # retention with sharing.
+        multi_variants: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for label, config in {
+            "run_multi(shared dispatch, validated)": EngineConfig(
+                speed=scenario.speed, engine=engine_mode,
+                validate_shared_dispatch=True,
+            ),
+            "run_multi(per-lane dispatch)": EngineConfig(
+                speed=scenario.speed, engine=engine_mode, share_dispatch=False
+            ),
+            "run_multi(aggregate, shared dispatch)": EngineConfig(
+                speed=scenario.speed, engine=engine_mode, retention="aggregate"
+            ),
+        }.items():
+            engine = SimulationEngine(topology, config=config)
+            multi_variants[label] = {
+                name: result.summary()
+                for name, result in engine.run_multi(iter(packets), policies).items()
+            }
 
-    for name in policies:
-        assert naive[name] == fast[name], (
-            f"{scenario.name}/{name}: naive reference vs fast path diverged\n"
-            f"naive: {naive[name]}\nfast:  {fast[name]}"
-        )
-        assert fast[name] == multi[name], (
-            f"{scenario.name}/{name}: fast path vs run_multi diverged"
-        )
-        assert fast[name] == multi_agg[name], (
-            f"{scenario.name}/{name}: fast path vs aggregate run_multi diverged"
-        )
+        for name in policies:
+            assert naive[name] == fast[name], (
+                f"{scenario.name}/{name} [{engine_mode}]: naive reference vs "
+                f"fast path diverged\nnaive: {naive[name]}\nfast:  {fast[name]}"
+            )
+            for label, multi in multi_variants.items():
+                assert fast[name] == multi[name], (
+                    f"{scenario.name}/{name} [{engine_mode}]: fast path vs "
+                    f"{label} diverged"
+                )
 
 
 def test_naive_pool_is_really_naive() -> None:

@@ -1,0 +1,276 @@
+"""Differential tests for the incremental impact index.
+
+The index must reproduce the reference adjacency scan **bit for bit** — the
+engine's ``indexed``/``reference`` knob is only sound because both paths
+compute identical floats.  The tests here attack that claim directly:
+
+* a property-based random walk of insert/debit/complete operations compares
+  ``(num_heavier, num_lighter, lighter_weight)`` against a naive recount at
+  every step, across every key the walk has touched;
+* dedicated tie-weight cases pin the ``>=`` (ties count as heavier) rule;
+* pool integration tests check that :func:`compute_edge_impact_indexed`
+  equals :func:`compute_edge_impact` on live pools, that backfilled indexes
+  match incrementally built ones, and that the impact fingerprint is a true
+  multiset invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatcher import compute_edge_impact, compute_edge_impact_indexed
+from repro.core.impact_index import ImpactIndex, WeightStats
+from repro.core.packet import Chunk, Packet
+from repro.core.queues import PendingChunkPool
+from repro.exceptions import SimulationError
+from repro.network.builders import single_tier_crossbar
+
+
+def make_chunk(
+    packet_id: int, weight: float, transmitter: str, receiver: str
+) -> Chunk:
+    """A standalone pending chunk (the index reads only t, r and weight)."""
+    packet = Packet(
+        packet_id=packet_id, source="s", destination="d", weight=weight, arrival=1
+    )
+    return Chunk(
+        packet=packet,
+        index=1,
+        size=1.0,
+        weight=weight,
+        transmitter=transmitter,
+        receiver=receiver,
+        eligible_time=1,
+        tail_delay=0,
+    )
+
+
+def naive_stats(
+    chunks: List[Chunk], transmitter: str, receiver: str, weight: float
+) -> Tuple[int, int, float]:
+    """The canonical answer: scan + tie rule + correctly rounded exact sum."""
+    adjacent = [
+        c for c in chunks if c.transmitter == transmitter or c.receiver == receiver
+    ]
+    heavier = sum(1 for c in adjacent if c.weight >= weight)
+    lighter = [c.weight for c in adjacent if c.weight < weight]
+    return heavier, len(lighter), math.fsum(lighter)
+
+
+# ---------------------------------------------------------------------- #
+# WeightStats: the per-key multiset
+# ---------------------------------------------------------------------- #
+def test_weight_stats_tie_counts_as_heavier() -> None:
+    stats = WeightStats()
+    for w in (2.0, 2.0, 1.0, 3.0):
+        stats.insert(w)
+    heavier, lighter, mantissa = stats.query(2.0)
+    assert (heavier, lighter) == (3, 1)  # both 2.0s and the 3.0 are "heavier"
+    assert mantissa / (1 << stats.scale) == 1.0
+
+
+def test_weight_stats_interleaved_mutations_and_queries() -> None:
+    stats = WeightStats()
+    stats.insert(5.0)
+    stats.insert(1.0)
+    assert stats.query(3.0)[:2] == (1, 1)
+    stats.insert(2.0)  # invalidates the cached prefix below rank 2
+    assert stats.query(3.0)[:2] == (1, 2)
+    stats.remove(1.0)
+    heavier, lighter, mantissa = stats.query(10.0)
+    assert (heavier, lighter) == (0, 2)
+    assert mantissa / (1 << stats.scale) == 7.0
+
+
+def test_weight_stats_scale_widens_for_fine_mantissas() -> None:
+    stats = WeightStats()
+    stats.insert(3.0)            # integral: scale stays 0
+    assert stats.scale == 0
+    tiny = 2.0**-40
+    stats.insert(tiny)           # needs 40 fractional bits
+    assert stats.scale == 40
+    heavier, lighter, mantissa = stats.query(1.0)
+    assert (heavier, lighter) == (1, 1)
+    assert mantissa / (1 << stats.scale) == tiny
+
+
+# ---------------------------------------------------------------------- #
+# property-based differential walk
+# ---------------------------------------------------------------------- #
+_NODES = ("t0", "t1", "t2")
+_RECEIVERS = ("r0", "r1", "r2")
+
+# Weights drawn from a mix of "nice" values (forcing exact ties) and raw
+# positive floats (forcing inexact sums where addition order would matter).
+_WEIGHTS = st.one_of(
+    st.sampled_from([1.0, 2.0, 2.0, 0.5, 10.0, 1 / 3, 0.1, 7.7]),
+    st.floats(
+        min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "query"]),
+        st.sampled_from(_NODES),
+        st.sampled_from(_RECEIVERS),
+        _WEIGHTS,
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_OPS)
+def test_index_matches_naive_scan_on_random_walks(ops) -> None:
+    """Random mutations + queries: the index equals the recount at every step."""
+    index = ImpactIndex()
+    live: List[Chunk] = []
+    next_id = 0
+    for op, transmitter, receiver, weight in ops:
+        if op == "add" or (op == "remove" and not live):
+            chunk = make_chunk(next_id, weight, transmitter, receiver)
+            next_id += 1
+            live.append(chunk)
+            index.add(chunk)
+        elif op == "remove":
+            chunk = live.pop(next_id % len(live))
+            index.discard(chunk)
+        # After every mutation (and for explicit queries), cross-check every
+        # (transmitter, receiver) pair against the naive recount.
+        for t in _NODES:
+            for r in _RECEIVERS:
+                expected = naive_stats(live, t, r, weight)
+                assert index.query(t, r, weight) == expected, (op, t, r, weight)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(_WEIGHTS, min_size=1, max_size=40),
+    query=_WEIGHTS,
+)
+def test_lighter_sum_is_order_independent_and_exact(weights, query) -> None:
+    """Insertion order never changes the exact lighter-weight sum."""
+    forward = WeightStats()
+    for w in weights:
+        forward.insert(w)
+    backward = WeightStats()
+    for w in reversed(weights):
+        backward.insert(w)
+    f = forward.query(query)
+    b = backward.query(query)
+    assert f[:2] == b[:2]
+    assert f[2] / (1 << forward.scale) == b[2] / (1 << backward.scale)
+    assert f[2] / (1 << forward.scale) == math.fsum(w for w in weights if w < query)
+
+
+# ---------------------------------------------------------------------- #
+# pool integration
+# ---------------------------------------------------------------------- #
+def _crossbar_pool_fixture() -> Tuple[PendingChunkPool, List[Chunk]]:
+    pool = PendingChunkPool(impact_index=True)
+    chunks = [
+        make_chunk(0, 4.0, "t:in1", "r:out1"),
+        make_chunk(1, 4.0, "t:in1", "r:out2"),
+        make_chunk(2, 1.5, "t:in2", "r:out1"),
+        make_chunk(3, 0.25, "t:in2", "r:out2"),
+    ]
+    pool.add_all(chunks)
+    return pool, chunks
+
+
+def test_pool_indexed_impact_equals_reference_scan() -> None:
+    topo = single_tier_crossbar(3)
+    pool = PendingChunkPool(impact_index=True)
+    packets = [
+        Packet(packet_id=i, source=f"s{i % 3}", destination=f"d{(i + 1) % 3}",
+               weight=1.0 + 0.7 * i, arrival=1)
+        for i in range(9)
+    ]
+    from repro.core.dispatcher import ImpactDispatcher
+
+    dispatcher = ImpactDispatcher()
+    for packet in packets:
+        # Compare every candidate's breakdown before committing the packet.
+        for (t, r) in topo.candidate_edges(packet.source, packet.destination):
+            assert compute_edge_impact_indexed(packet, t, r, topo, pool) == \
+                compute_edge_impact(packet, t, r, topo, pool)
+        assignment = dispatcher.dispatch(packet, topo, pool, packet.arrival)
+        if not assignment.uses_fixed_link:
+            pool.add_all(assignment.chunks)
+
+
+def test_indexed_impact_requires_enabled_index() -> None:
+    topo = single_tier_crossbar(2)
+    pool = PendingChunkPool()
+    packet = Packet(packet_id=0, source="in1", destination="out1", weight=1.0, arrival=1)
+    with pytest.raises(SimulationError, match="impact index"):
+        compute_edge_impact_indexed(packet, "t:in1", "r:out1", topo, pool)
+
+
+def test_enable_impact_index_backfills_existing_chunks() -> None:
+    pool, chunks = _crossbar_pool_fixture()
+    late = PendingChunkPool()
+    late.add_all(chunks2 := [make_chunk(10 + i, c.weight, c.transmitter, c.receiver)
+                             for i, c in enumerate(chunks)])
+    assert late.impact_index is None
+    index = late.enable_impact_index()
+    assert late.impact_index is index
+    assert late.enable_impact_index() is index  # idempotent
+    for t in ("t:in1", "t:in2"):
+        for r in ("r:out1", "r:out2"):
+            for w in (0.2, 1.5, 4.0, 9.0):
+                assert index.query(t, r, w) == pool.impact_index.query(t, r, w)
+    # Later mutations keep a backfilled index in sync.
+    late.remove(chunks2[0])
+    extra = make_chunk(99, 2.5, "t:in1", "r:out1")
+    late.add(extra)
+    reference = [c for c in chunks2[1:]] + [extra]
+    for t in ("t:in1", "t:in2"):
+        for r in ("r:out1", "r:out2"):
+            assert index.query(t, r, 2.0) == naive_stats(reference, t, r, 2.0)
+
+
+def test_pool_clear_resets_index_and_fingerprint() -> None:
+    pool, _ = _crossbar_pool_fixture()
+    assert pool.impact_fingerprint != 0
+    pool.clear()
+    assert pool.impact_fingerprint == 0
+    assert pool.impact_index.query("t:in1", "r:out1", 1.0) == (0, 0, 0.0)
+
+
+def test_impact_fingerprint_is_a_multiset_invariant() -> None:
+    a = PendingChunkPool()
+    b = PendingChunkPool()
+    chunks_a = [make_chunk(i, w, t, r) for i, (w, t, r) in enumerate(
+        [(1.0, "t0", "r0"), (2.0, "t1", "r1"), (1.0, "t0", "r1")]
+    )]
+    # Same (t, r, weight) multiset, different packet ids and insertion order.
+    chunks_b = [make_chunk(50 + i, w, t, r) for i, (w, t, r) in enumerate(
+        [(1.0, "t0", "r1"), (1.0, "t0", "r0"), (2.0, "t1", "r1")]
+    )]
+    a.add_all(chunks_a)
+    b.add_all(chunks_b)
+    assert a.impact_fingerprint == b.impact_fingerprint
+    # Removing a chunk changes it; re-adding an equivalent one restores it.
+    removed = chunks_a[0]
+    a.remove(removed)
+    assert a.impact_fingerprint != b.impact_fingerprint
+    a.add(make_chunk(77, removed.weight, removed.transmitter, removed.receiver))
+    assert a.impact_fingerprint == b.impact_fingerprint
+
+
+def test_index_discard_drops_empty_keys() -> None:
+    index = ImpactIndex()
+    chunk = make_chunk(0, 1.0, "t0", "r0")
+    index.add(chunk)
+    assert index.query("t0", "r0", 2.0) == (0, 1, 1.0)
+    index.discard(chunk)
+    assert index._tx == {} and index._rx == {} and index._edge == {}
+    assert index.query("t0", "r0", 2.0) == (0, 0, 0.0)

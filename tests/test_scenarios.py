@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -155,6 +156,26 @@ class TestMatrix:
         rows = scenario_matrix(["figure1"], name="io").run(output_path=str(path))
         document = json.loads(path.read_text())
         assert document["rows"] == rows
+
+    def test_rows_are_engine_invariant(self):
+        """The indexed/reference dispatch backends produce identical rows.
+
+        Exercises the whole override chain: ``run(engine=…)`` →
+        ``to_experiment_spec`` grid params → the cell task's
+        ``task.params.get("engine") or scenario.engine`` fallback.
+        """
+        matrix = scenario_matrix(["tiny-random"], name="engines")
+        default = matrix.run()  # scenario default ("indexed")
+        indexed = matrix.run(engine="indexed")
+        reference = matrix.run(engine="reference")
+        per_policy_reference = matrix.run(engine="reference", mode="per-policy")
+        assert default == indexed == reference == per_policy_reference
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ScenarioError, match="engine"):
+            grid_matrix("smoke").to_experiment_spec(engine="vectorised")
+        with pytest.raises(ScenarioError, match="engine"):
+            dataclasses.replace(get_scenario("figure1"), engine="vectorised")
 
 
 # ---------------------------------------------------------------------- #
