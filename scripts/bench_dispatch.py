@@ -1,16 +1,24 @@
-"""Measure the dispatch hot path and write ``BENCH_dispatch.json``.
+"""Measure the per-slot hot paths and append to ``BENCH_dispatch.json``.
 
-Establishes the performance trajectory of the per-packet dispatch cost on a
-dense-contention cell (the E15 benchmark's receiver-hotspot fabric): the
-reference O(n) adjacency scan vs the incremental impact index, plus
-``run_multi`` with four impact-sharing ALG lanes vs PR 3's per-lane
-dispatch.  Every configuration is checked bit-identical against the
-reference before its timing is trusted.
+Establishes the performance trajectory of the engine's two hot paths on a
+dense-contention cell (the E15/E16 benchmarks' receiver-hotspot fabric):
 
-The JSON is committed so successive PRs can compare packets/sec on the same
-seeded instance; the ``machine`` block says which hardware produced each
-measurement (absolute numbers move between machines — the speedup ratios are
-the portable signal).
+* dispatch — the reference O(n) adjacency scan vs the incremental impact
+  index, plus ``run_multi`` with four impact-sharing ALG lanes vs PR 3's
+  per-lane dispatch;
+* scheduling — the from-scratch greedy stable-matching pass vs the
+  incremental matching repairer, including a phase breakdown (time inside
+  ``dispatch`` vs ``select_matching`` vs the bookkeeping remainder) from a
+  separate instrumented run.
+
+Every configuration is checked bit-identical against the reference before
+its timing is trusted.
+
+``BENCH_dispatch.json`` holds a ``history`` list with one point per
+recording, so successive PRs can compare packets/sec on the same seeded
+instance; each point's ``machine`` block says which hardware produced it
+(absolute numbers move between machines — the speedup ratios are the
+portable signal).  A pre-history single-point file is migrated in place.
 
 Usage::
 
@@ -31,7 +39,7 @@ from pathlib import Path
 
 from repro.core import OpportunisticLinkScheduler
 from repro.network import projector_fabric
-from repro.simulation import EngineConfig, SimulationEngine, simulate
+from repro.simulation import EngineConfig, SimulationEngine, simulate, timed_policy
 from repro.workloads import uniform_weights
 from repro.workloads.adversarial import iter_contention_hotspot_workload
 
@@ -39,11 +47,21 @@ REPO = Path(__file__).resolve().parent.parent
 NUM_LANES = 4
 
 
-def build_cell(num_racks: int, num_packets: int, seed: int):
-    """The seeded dense-contention cell shared with benchmark E15."""
+def build_cell(num_racks: int, num_packets: int, seed: int, delay: int = 1):
+    """The seeded dense-contention cell shared with benchmarks E15/E16.
+
+    ``delay`` is the uniform reconfigurable-edge delay ``d(e)``: every
+    dispatched packet splits into ``d(e)`` chunks, so raising it densifies
+    the pending pool without adding dispatch work — the scheduler-phase
+    stress knob.
+    """
     start = time.perf_counter()
     topology = projector_fabric(
-        num_racks=num_racks, lasers_per_rack=2, photodetectors_per_rack=2, seed=seed
+        num_racks=num_racks,
+        lasers_per_rack=2,
+        photodetectors_per_rack=2,
+        delay=delay,
+        seed=seed,
     )
     packets = list(
         iter_contention_hotspot_workload(
@@ -59,17 +77,29 @@ def build_cell(num_racks: int, num_packets: int, seed: int):
     return topology, packets, time.perf_counter() - start
 
 
-def time_single(topology, packets, engine_mode: str):
+def time_single(topology, packets, engine_mode: str, incremental: bool = True):
     """One ALG run; returns (seconds, summary)."""
     start = time.perf_counter()
     result = simulate(
         topology,
-        OpportunisticLinkScheduler(),
+        OpportunisticLinkScheduler(incremental_scheduler=incremental),
         packets,
         engine=engine_mode,
         max_slots=10_000_000,
     )
     return time.perf_counter() - start, result.summary()
+
+
+def time_single_phases(topology, packets, engine_mode: str, incremental: bool):
+    """One instrumented ALG run; returns (seconds, phase timings, summary)."""
+    policy, timings = timed_policy(
+        OpportunisticLinkScheduler(incremental_scheduler=incremental)
+    )
+    start = time.perf_counter()
+    result = simulate(
+        topology, policy, packets, engine=engine_mode, max_slots=10_000_000
+    )
+    return time.perf_counter() - start, timings, result.summary()
 
 
 def time_multi(topology, packets, engine_mode: str, share: bool):
@@ -92,6 +122,8 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--packets", type=int, default=5000)
     parser.add_argument("--multi-packets", type=int, default=3000)
+    parser.add_argument("--scheduler-packets", type=int, default=8000)
+    parser.add_argument("--scheduler-delay", type=int, default=4)
     parser.add_argument("--racks", type=int, default=64)
     parser.add_argument("--seed", type=int, default=15)
     parser.add_argument("--output", default=str(REPO / "BENCH_dispatch.json"))
@@ -110,6 +142,44 @@ def main() -> int:
     single_speedup = reference_time / indexed_time
     print(f"single ALG run : reference {reference_time:.2f}s | indexed "
           f"{indexed_time:.2f}s | speedup {single_speedup:.1f}x")
+
+    # Scheduler hot path, on a denser cell (longer edge delay -> d(e) chunks
+    # per packet): indexed dispatch with the from-scratch greedy matching
+    # pass ("flat") vs the incremental matching repairer.  The end-to-end
+    # ratio isolates the scheduler change because both configurations share
+    # the impact-index dispatch.
+    sched_topology, sched_packets, sched_gen = build_cell(
+        args.racks, args.scheduler_packets, args.seed, delay=args.scheduler_delay
+    )
+    print(f"scheduler cell: {args.racks} racks, {len(sched_packets)} packets, "
+          f"edge delay {args.scheduler_delay} (generated in {sched_gen:.2f}s)")
+    incr_time, incr_summary = time_single(sched_topology, sched_packets, "indexed")
+    flat_time, flat_summary = time_single(
+        sched_topology, sched_packets, "indexed", incremental=False
+    )
+    if flat_summary != incr_summary:
+        print("FATAL: flat-scheduler summary diverged from the incremental repairer",
+              file=sys.stderr)
+        return 1
+    scheduler_e2e_speedup = flat_time / incr_time
+    print(f"scheduler e2e  : flat {flat_time:.2f}s | incremental "
+          f"{incr_time:.2f}s | speedup {scheduler_e2e_speedup:.1f}x")
+
+    # Instrumented runs split each total into dispatch / scheduler /
+    # bookkeeping; the phase ratio is computed timed-vs-timed so both sides
+    # carry the identical (tiny) instrumentation overhead.
+    flat_total, flat_phases, flat_timed_summary = time_single_phases(
+        sched_topology, sched_packets, "indexed", incremental=False
+    )
+    inc_total, inc_phases, inc_timed_summary = time_single_phases(
+        sched_topology, sched_packets, "indexed", incremental=True
+    )
+    if flat_timed_summary != incr_summary or inc_timed_summary != incr_summary:
+        print("FATAL: instrumented run diverged from the untimed runs", file=sys.stderr)
+        return 1
+    scheduler_phase_speedup = flat_phases.scheduler_s / inc_phases.scheduler_s
+    print(f"scheduler phase: flat {flat_phases.scheduler_s:.2f}s | incremental "
+          f"{inc_phases.scheduler_s:.2f}s | speedup {scheduler_phase_speedup:.1f}x")
 
     _, multi_packets, _ = build_cell(args.racks, args.multi_packets, args.seed)
     per_lane_time, per_lane_summaries, _ = time_multi(
@@ -165,10 +235,36 @@ def main() -> int:
             "memo": memo_stats,
             "bit_identical": True,
         },
+        "scheduler": {
+            "num_packets": len(sched_packets),
+            "edge_delay": args.scheduler_delay,
+            "flat_s": round(flat_time, 4),
+            "incremental_s": round(incr_time, 4),
+            "e2e_speedup": round(scheduler_e2e_speedup, 2),
+            "phase_breakdown_flat": flat_phases.breakdown(flat_total),
+            "phase_breakdown_incremental": inc_phases.breakdown(inc_total),
+            "phase_speedup": round(scheduler_phase_speedup, 2),
+            "bit_identical": True,
+        },
     }
+
     output = Path(args.output)
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {output}")
+    history = []
+    if output.exists():
+        existing = json.loads(output.read_text())
+        if "history" in existing:
+            history = existing["history"]
+        else:
+            # Pre-history single-point file: keep it as the first entry.
+            existing.pop("benchmark", None)
+            history = [existing]
+    payload.pop("benchmark", None)
+    history.append(payload)
+    output.write_text(
+        json.dumps({"benchmark": "dispatch-hot-path", "history": history}, indent=2)
+        + "\n"
+    )
+    print(f"wrote {output} ({len(history)} history points)")
     return 0
 
 

@@ -35,6 +35,20 @@ __all__ = [
 ]
 
 
+def _iter_eligible(pool: PendingChunkPool, now: int):
+    """Iterate the eligible chunks of ``pool`` without materialising a list.
+
+    MaxWeight and iSLIP only bucket the eligible chunks by edge, so they can
+    stream straight off the pool's eligible partition; minimal pool stand-ins
+    (the differential harness's naive pool) fall back to the materialised
+    query.
+    """
+    iter_eligible = getattr(pool, "iter_eligible", None)
+    if iter_eligible is not None:
+        return iter_eligible(now)
+    return pool.eligible_chunks(now)
+
+
 class FIFOScheduler(OrderedGreedyScheduler):
     """Greedy matching in arrival order (oldest chunk first).
 
@@ -103,12 +117,9 @@ class MaxWeightMatchingScheduler(Scheduler):
     def select_matching(
         self, pool: PendingChunkPool, topology: TwoTierTopology, now: int
     ) -> List[Chunk]:
-        eligible = pool.eligible_chunks(now)
-        if not eligible:
-            return []
         best_chunk: Dict[Tuple[str, str], Chunk] = {}
         edge_weight: Dict[Tuple[str, str], float] = {}
-        for chunk in eligible:
+        for chunk in _iter_eligible(pool, now):
             edge = chunk.edge
             if edge not in best_chunk or chunk_priority_key(chunk) < chunk_priority_key(
                 best_chunk[edge]
@@ -119,6 +130,8 @@ class MaxWeightMatchingScheduler(Scheduler):
                 if self.mode == "sum"
                 else max(edge_weight.get(edge, 0.0), chunk.weight)
             )
+        if not edge_weight:
+            return []
 
         graph = nx.Graph()
         for (t, r), weight in edge_weight.items():
@@ -172,12 +185,11 @@ class ISLIPScheduler(Scheduler):
     def select_matching(
         self, pool: PendingChunkPool, topology: TwoTierTopology, now: int
     ) -> List[Chunk]:
-        eligible = pool.eligible_chunks(now)
-        if not eligible:
-            return []
         by_edge: Dict[Tuple[str, str], List[Chunk]] = {}
-        for chunk in eligible:
+        for chunk in _iter_eligible(pool, now):
             by_edge.setdefault(chunk.edge, []).append(chunk)
+        if not by_edge:
+            return []
 
         transmitters = sorted({t for (t, _r) in by_edge})
         receivers = sorted({r for (_t, r) in by_edge})

@@ -247,9 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scen_run.add_argument(
         "--engine", choices=("indexed", "reference"), default=None,
-        help="dispatch evaluation backend: 'indexed' uses the incremental "
-        "impact index, 'reference' the O(n) adjacency scan; rows are "
-        "bit-identical (default: each scenario's own setting)",
+        help="hot-path backend for dispatch AND scheduling: 'indexed' uses "
+        "the incremental impact index plus the incremental matching "
+        "repairer, 'reference' the O(n) adjacency scan with from-scratch "
+        "matching; rows are bit-identical (default: each scenario's own "
+        "setting)",
     )
     scen_run.add_argument(
         "--output", default=None,

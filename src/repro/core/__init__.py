@@ -20,6 +20,7 @@ from repro.core.dispatcher import (
 )
 from repro.core.impact_index import ImpactIndex
 from repro.core.interfaces import Dispatcher, Policy, Scheduler
+from repro.core.matching_index import MatchingIndex
 from repro.core.packet import (
     Assignment,
     Chunk,
@@ -52,6 +53,7 @@ __all__ = [
     "Policy",
     "ImpactDispatcher",
     "ImpactIndex",
+    "MatchingIndex",
     "SharedDispatchMemo",
     "EdgeImpact",
     "compute_edge_impact",

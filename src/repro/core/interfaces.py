@@ -90,6 +90,12 @@ class Scheduler(abc.ABC):
     #: Human-readable name used in experiment reports.
     name: str = "scheduler"
 
+    #: Whether the scheduler reads the pool's incremental
+    #: :class:`~repro.core.matching_index.MatchingIndex` when one is present.
+    #: Indexed-engine lanes only pay for maintaining the index when their
+    #: scheduler opts in (the stable-matching scheduler does by default).
+    uses_matching_index: bool = False
+
     @abc.abstractmethod
     def select_matching(
         self,

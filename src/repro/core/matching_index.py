@@ -1,0 +1,326 @@
+"""Incremental repair of the greedy stable matching (Section III-C hot path).
+
+The reference scheduler recomputes the greedy stable matching from scratch
+every slot: sort all eligible chunks by priority, walk the order, select a
+chunk whenever both ports of its edge are free.  Between consecutive slots,
+however, the eligible set changes only where chunks arrived, completed or
+became eligible, and the greedy matching has a local characterisation that
+makes it repairable from exactly those deltas:
+
+    a chunk ``c`` is matched  ⟺  no *matched* chunk of higher priority
+    shares ``c``'s transmitter or receiver.
+
+(The greedy matching is the lexicographically-first maximal matching in the
+chunk conflict graph; each matched chunk owns both its ports.)  The
+characterisation yields two repair rules:
+
+* **removal** of a matched chunk ``c`` frees its two ports; the only chunks
+  whose status can flip are *lower*-priority chunks on those two ports (a
+  higher-priority unmatched chunk was blocked through its other port, which
+  the removal did not touch).  Removing an unmatched chunk changes nothing.
+* **addition / activation** of a chunk ``c`` can match it — evicting at most
+  one lower-priority owner per port — and each eviction recursively frees
+  that owner's other port.  Every chunk in the cascade has strictly lower
+  priority than its evictor, so the cascade is driven by the delta, not by
+  the pool size.
+
+:class:`MatchingIndex` implements both rules with a single priority-keyed
+task heap.  Events (activations, removals) push *tasks*; draining the heap
+processes tasks in non-decreasing priority order, which makes every decision
+final — exactly the order the from-scratch greedy pass would have used — so
+the repaired matching is **bit-identical** (same chunks, and, after the final
+priority sort of the small matched set, same order) to
+:func:`~repro.core.stable_matching.greedy_stable_matching` on the current
+eligible set.  The differential harness and the property tests in
+``tests/test_matching_index.py`` enforce this equivalence.
+
+Two task kinds exist:
+
+* ``eval(c)`` — decide chunk ``c`` at its own priority: match it (evicting
+  lower-priority port owners) iff both ports are free or lower-priority.
+* ``scan(side, port, from_key)`` — a port was freed by a chunk with priority
+  ``from_key``; find the highest-priority chunk below ``from_key`` on the
+  port whose other port is also free (or lower-priority).  Before committing
+  to a candidate ``u``, the scan *defers* to any heap task of higher priority
+  than ``u`` by re-pushing itself at ``u``'s key — this is what keeps
+  decisions globally priority-ordered even when several ports are repaired
+  at once.
+
+Chunks are stored per *edge* (transmitter–receiver pair), not per port, as
+key-sorted ``(priority key, chunk)`` pairs — the key is a total order, so
+pairs sort and bisect with C-level tuple comparisons and the key function
+runs exactly once per chunk, at activation.  Per-edge storage is what makes
+scans cheap: every chunk on one edge is blocked by the *same* port owners,
+so a scan only ever inspects each edge's top candidate (merged across the
+port's edges through a small local heap) instead of walking over arbitrarily
+long runs of same-edge chunks that one hot owner blocks.  Dropping a blocked
+edge from the merge is safe: the blocking owner outranks all of the edge's
+remaining chunks, and if it is later evicted, the eviction itself pushes a
+scan for the freed port that re-covers them.
+
+Amortised cost per slot is O((Δ + cascade) · degree · log n) against the
+reference scheduler's Θ(E log E) full pass over all eligible chunks, where
+degree is the number of active edges at a repaired port.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.packet import Chunk
+from repro.exceptions import SimulationError
+from repro.utils.ordering import chunk_priority_key
+
+__all__ = ["MatchingIndex"]
+
+#: A chunk's total-order priority key paired with the chunk itself.  Keys are
+#: unique, so tuple comparison never falls through to comparing chunks.
+_Key = Tuple[float, int, int, int]
+_Entry = Tuple[_Key, Chunk]
+
+#: Task kinds, ordered only for readability — the heap never compares them
+#: (a strictly increasing sequence number sits before the kind in each entry).
+_EVAL = 0
+_SCAN_TX = 1
+_SCAN_RX = 2
+
+
+class MatchingIndex:
+    """Maintains the greedy stable matching of an *eligible* chunk set under deltas.
+
+    The owning :class:`~repro.core.queues.PendingChunkPool` notifies the index
+    through :meth:`activate` (a chunk became eligible — freshly added or
+    promoted from a future-activation bucket) and :meth:`discard` (an eligible
+    chunk left the pool).  Repair work is deferred: events only push tasks,
+    and :meth:`current_matching` drains the task heap before reporting, so a
+    burst of completions and arrivals between two slots is settled in one
+    priority-ordered pass.
+    """
+
+    __slots__ = (
+        "_edges",
+        "_tx_ports",
+        "_rx_ports",
+        "_tx_owner",
+        "_rx_owner",
+        "_matched",
+        "_eligible",
+        "_tasks",
+        "_seq",
+    )
+
+    def __init__(self) -> None:
+        # (tx, rx) → the edge's eligible (key, chunk) pairs, kept key-sorted.
+        self._edges: Dict[Tuple[str, str], List[_Entry]] = {}
+        # Port → the peer ports of its non-empty edges (scan adjacency).
+        self._tx_ports: Dict[str, Set[str]] = {}
+        self._rx_ports: Dict[str, Set[str]] = {}
+        # Port → the matched entry currently owning it (both ports of a
+        # matched chunk are owned by it, and only matched chunks own ports).
+        self._tx_owner: Dict[str, _Entry] = {}
+        self._rx_owner: Dict[str, _Entry] = {}
+        self._matched: Set[_Entry] = set()
+        # Chunk → its cached priority key; doubles as the eligibility set.
+        self._eligible: Dict[Chunk, _Key] = {}
+        # Pending repair tasks: (priority key, seq, kind, payload).  The seq
+        # makes entries unique so kinds/payloads are never compared.
+        self._tasks: List[Tuple[_Key, int, int, object]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # events (pushed by the pool)
+    # ------------------------------------------------------------------ #
+    def activate(self, chunk: Chunk) -> None:
+        """Track a chunk that just became eligible."""
+        if chunk in self._eligible:
+            raise SimulationError(f"chunk {chunk!r} is already tracked by the matching index")
+        key = chunk_priority_key(chunk)
+        self._eligible[chunk] = key
+        tx, rx = chunk.transmitter, chunk.receiver
+        edge_list = self._edges.get((tx, rx))
+        if edge_list is None:
+            edge_list = self._edges[(tx, rx)] = []
+            self._tx_ports.setdefault(tx, set()).add(rx)
+            self._rx_ports.setdefault(rx, set()).add(tx)
+        insort(edge_list, (key, chunk))
+        self._push(key, _EVAL, chunk)
+
+    def discard(self, chunk: Chunk) -> None:
+        """Stop tracking an eligible chunk that left the pool.
+
+        Ignores chunks the index never saw (e.g. a future-bucket chunk being
+        removed before its activation time), so the pool can forward every
+        removal unconditionally.
+        """
+        key = self._eligible.pop(chunk, None)
+        if key is None:
+            return
+        tx, rx = chunk.transmitter, chunk.receiver
+        edge_list = self._edges[(tx, rx)]
+        # (key,) sorts immediately before (key, chunk); keys are unique.
+        del edge_list[bisect_left(edge_list, (key,))]
+        if not edge_list:
+            del self._edges[(tx, rx)]
+            peers = self._tx_ports[tx]
+            peers.remove(rx)
+            if not peers:
+                del self._tx_ports[tx]
+            peers = self._rx_ports[rx]
+            peers.remove(tx)
+            if not peers:
+                del self._rx_ports[rx]
+        entry = (key, chunk)
+        if entry in self._matched:
+            # Removal rule: only lower-priority chunks on the two freed ports
+            # can flip status — scan each port from the removed chunk's key.
+            self._matched.remove(entry)
+            del self._tx_owner[tx]
+            del self._rx_owner[rx]
+            self._push(key, _SCAN_TX, (tx, None))
+            self._push(key, _SCAN_RX, (rx, None))
+
+    def clear(self) -> None:
+        """Forget every chunk and pending task."""
+        self._edges.clear()
+        self._tx_ports.clear()
+        self._rx_ports.clear()
+        self._tx_owner.clear()
+        self._rx_owner.clear()
+        self._matched.clear()
+        self._eligible.clear()
+        self._tasks.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def current_matching(self) -> List[Chunk]:
+        """The greedy stable matching of the tracked eligible set, in priority order.
+
+        Drains the pending repair tasks first; the result is bit-identical to
+        ``greedy_stable_matching(eligible)`` recomputed from scratch.
+        """
+        self._drain()
+        return [chunk for _, chunk in sorted(self._matched)]
+
+    def __len__(self) -> int:
+        return len(self._eligible)
+
+    # ------------------------------------------------------------------ #
+    # repair machinery
+    # ------------------------------------------------------------------ #
+    def _push(self, key: _Key, kind: int, payload: object) -> None:
+        heappush(self._tasks, (key, self._seq, kind, payload))
+        self._seq += 1
+
+    def _drain(self) -> None:
+        tasks = self._tasks
+        while tasks:
+            key, _, kind, payload = heappop(tasks)
+            if kind == _EVAL:
+                self._eval(payload)
+            elif kind == _SCAN_TX:
+                self._scan(payload[0], key, payload[1], is_tx=True)
+            else:
+                self._scan(payload[0], key, payload[1], is_tx=False)
+
+    def _eval(self, chunk: Chunk) -> None:
+        """Decide ``chunk`` at its own priority position."""
+        key = self._eligible.get(chunk)
+        if key is None or (key, chunk) in self._matched:
+            return
+        tx_owner = self._tx_owner.get(chunk.transmitter)
+        rx_owner = self._rx_owner.get(chunk.receiver)
+        # The priority key is a total order, so an owner's key is never equal
+        # to ``key``; a lower key means the owner outranks (blocks) the chunk.
+        if tx_owner is not None and tx_owner[0] < key:
+            return
+        if rx_owner is not None and rx_owner[0] < key:
+            return
+        self._match((key, chunk), tx_owner, rx_owner)
+
+    def _match(
+        self, entry: _Entry, tx_owner: Optional[_Entry], rx_owner: Optional[_Entry]
+    ) -> None:
+        """Match ``entry``, evicting the (strictly lower-priority) port owners."""
+        _, chunk = entry
+        if tx_owner is not None and rx_owner is not None and tx_owner[1] is rx_owner[1]:
+            # Same-edge owner: both its ports pass straight to ``chunk``.
+            self._matched.remove(tx_owner)
+        else:
+            if tx_owner is not None:
+                # Evicted from the shared transmitter; its receiver is freed
+                # and only chunks below the evictee can use it.
+                self._matched.remove(tx_owner)
+                del self._rx_owner[tx_owner[1].receiver]
+                self._push(tx_owner[0], _SCAN_RX, (tx_owner[1].receiver, None))
+            if rx_owner is not None:
+                self._matched.remove(rx_owner)
+                del self._tx_owner[rx_owner[1].transmitter]
+                self._push(rx_owner[0], _SCAN_TX, (rx_owner[1].transmitter, None))
+        self._tx_owner[chunk.transmitter] = entry
+        self._rx_owner[chunk.receiver] = entry
+        self._matched.add(entry)
+
+    def _scan(
+        self,
+        port: str,
+        from_key: _Key,
+        merge: Optional[List[Tuple[_Key, str, int]]],
+        *,
+        is_tx: bool,
+    ) -> None:
+        """Find a new owner for a freed ``port`` among chunks at or below ``from_key``.
+
+        Decisions made while this task was queued all had keys <= ``from_key``
+        (the deferral rule below guarantees it), so if the port has an owner
+        again it outranks every candidate and the scan is over.
+
+        Candidates are merged across the port's edges through a local heap of
+        ``(candidate key, peer port, index into the edge list)``.  ``merge``
+        is ``None`` for a fresh scan (the heap is seeded by one bisect per
+        edge) or the saved heap of a deferred scan — edge lists only mutate
+        outside :meth:`_drain`, and a deferred scan is always re-popped within
+        the same drain, so saved indices stay valid.
+        """
+        owners = self._tx_owner if is_tx else self._rx_owner
+        if port in owners:
+            return
+        edges = self._edges
+        if merge is None:
+            peers = (self._tx_ports if is_tx else self._rx_ports).get(port)
+            if not peers:
+                return
+            merge = []
+            probe = (from_key,)
+            for peer in peers:
+                edge_list = edges[(port, peer) if is_tx else (peer, port)]
+                index = bisect_left(edge_list, probe)
+                if index < len(edge_list):
+                    heappush(merge, (edge_list[index][0], peer, index))
+        other_owners = self._rx_owner if is_tx else self._tx_owner
+        tasks = self._tasks
+        while merge:
+            candidate_key, peer, index = merge[0]
+            if tasks and tasks[0][0] < candidate_key:
+                # A strictly higher-priority task is pending; defer so every
+                # decision is made in global priority order.
+                self._push(candidate_key, _SCAN_TX if is_tx else _SCAN_RX, (port, merge))
+                return
+            heappop(merge)
+            # ``candidate`` is unmatched: matched chunks own both their
+            # ports, and this port has no owner.
+            other_owner = other_owners.get(peer)
+            if other_owner is None or candidate_key < other_owner[0]:
+                edge_list = edges[(port, peer) if is_tx else (peer, port)]
+                candidate = edge_list[index][1]
+                if is_tx:
+                    self._match((candidate_key, candidate), None, other_owner)
+                else:
+                    self._match((candidate_key, candidate), other_owner, None)
+                return
+            # The peer port's owner outranks the candidate — and therefore
+            # every remaining chunk on this edge, so the whole edge is done.
+            # If that owner is evicted later, the eviction pushes a scan for
+            # the freed peer port which re-covers these chunks.

@@ -16,17 +16,32 @@ via binary-search insertion.  The key is immutable for a chunk's lifetime
 :meth:`eligible_chunks` and :meth:`adjacent_chunks` return already-ordered
 data instead of re-sorting the pool on every call — the per-slot hot path of
 the simulation engine.
+
+Eligibility partition
+---------------------
+Pending chunks are split into two sets: *eligible* chunks
+(``eligible_time <= watermark``) live in priority-sorted iteration lists,
+while *future* chunks (head-of-line delay not yet elapsed) wait in
+time-bucketed activation queues keyed by their ``eligible_time``.  A
+monotone watermark (:attr:`eligible_through`) advances with the queries, and
+:meth:`advance_eligibility` promotes whole buckets as their activation time
+is reached.  This turns :meth:`eligible_chunks` from a full-pool filter into
+a straight read of the eligible list, and lets the engine's slot-skipping
+fast path jump directly to :meth:`next_activation_time` when nothing is
+currently eligible.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from heapq import heappop, heappush
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.impact_index import ImpactIndex
+from repro.core.matching_index import MatchingIndex
 from repro.core.packet import Chunk
 from repro.exceptions import SimulationError
-from repro.utils.ordering import chunk_priority_key
+from repro.utils.ordering import chunk_fifo_key, chunk_priority_key
 
 __all__ = ["PendingChunkPool"]
 
@@ -48,20 +63,43 @@ class PendingChunkPool:
     hot path.  The index mirrors pool membership exactly; it can also be
     switched on later with :meth:`enable_impact_index` (backfilling the
     current chunks), which dispatcher-level tests use.
+
+    With ``matching_index=True`` the pool also maintains a
+    :class:`~repro.core.matching_index.MatchingIndex` over its *eligible*
+    chunks: every activation and removal is forwarded as a repair event, so
+    the stable-matching scheduler can read the current greedy stable matching
+    incrementally instead of recomputing it from scratch each slot.  Like the
+    impact index it can be enabled later with :meth:`enable_matching_index`.
     """
 
-    def __init__(self, *, impact_index: bool = False) -> None:
+    def __init__(self, *, impact_index: bool = False, matching_index: bool = False) -> None:
         self._by_edge: Dict[Tuple[str, str], List[Chunk]] = {}
         self._by_transmitter: Dict[str, List[Chunk]] = {}
         self._by_receiver: Dict[str, List[Chunk]] = {}
         self._all: Set[Chunk] = set()
-        self._sorted: List[Chunk] = []
+        # Eligibility partition: chunks whose eligible_time has been reached
+        # (relative to the monotone watermark) form the eligible set; later
+        # chunks wait in per-activation-time buckets fronted by a min-heap of
+        # activation times.  The priority- and FIFO-ordered views of the
+        # eligible set are each built lazily on first use and maintained
+        # incrementally afterwards, so only schedulers that actually iterate
+        # in that order pay for the sorted insertions (the incremental
+        # matching scheduler needs neither view).
+        self._eligible_set: Set[Chunk] = set()
+        self._eligible: Optional[List[Chunk]] = None
+        self._eligible_fifo: Optional[List[Chunk]] = None
+        self._future: Dict[int, List[Chunk]] = {}
+        self._future_times: List[int] = []
+        self._eligible_through = 0
         # Incrementally maintained O(1) counters: the number of pending
         # chunks and the total remaining chunk-units of work.  The engine
         # reports transmitted work through :meth:`debit_work`.
         self._size = 0
         self._pending_work = 0.0
         self._impact_index: Optional[ImpactIndex] = ImpactIndex() if impact_index else None
+        self._matching_index: Optional[MatchingIndex] = (
+            MatchingIndex() if matching_index else None
+        )
         # Commutative multiset hash over (transmitter, receiver, weight) —
         # the only chunk attributes the impact rule reads — maintained on
         # every add/remove.  Two pools with equal fingerprints hold (up to
@@ -84,7 +122,15 @@ class PendingChunkPool:
         self._impact_fingerprint += hash((chunk.transmitter, chunk.receiver, chunk.weight))
         if self._impact_index is not None:
             self._impact_index.add(chunk)
-        insort(self._sorted, chunk, key=chunk_priority_key)
+        if chunk.eligible_time <= self._eligible_through:
+            self._activate(chunk)
+        else:
+            bucket = self._future.get(chunk.eligible_time)
+            if bucket is None:
+                self._future[chunk.eligible_time] = [chunk]
+                heappush(self._future_times, chunk.eligible_time)
+            else:
+                bucket.append(chunk)
         insort(self._by_edge.setdefault(chunk.edge, []), chunk, key=chunk_priority_key)
         insort(
             self._by_transmitter.setdefault(chunk.transmitter, []),
@@ -112,7 +158,22 @@ class PendingChunkPool:
         self._impact_fingerprint -= hash((chunk.transmitter, chunk.receiver, chunk.weight))
         if self._impact_index is not None:
             self._impact_index.discard(chunk)
-        _sorted_remove(self._sorted, chunk)
+        if chunk.eligible_time <= self._eligible_through:
+            self._eligible_set.discard(chunk)
+            if self._eligible is not None:
+                _sorted_remove(self._eligible, chunk)
+            if self._eligible_fifo is not None:
+                fifo = self._eligible_fifo
+                del fifo[bisect_left(fifo, chunk_fifo_key(chunk), key=chunk_fifo_key)]
+            if self._matching_index is not None:
+                self._matching_index.discard(chunk)
+        else:
+            bucket = self._future[chunk.eligible_time]
+            bucket.remove(chunk)
+            if not bucket:
+                # The activation time stays in the heap; stale entries are
+                # skipped lazily when the heap front is inspected.
+                del self._future[chunk.eligible_time]
         edge_list = self._by_edge[chunk.edge]
         _sorted_remove(edge_list, chunk)
         if not edge_list:
@@ -132,12 +193,21 @@ class PendingChunkPool:
         self._by_transmitter.clear()
         self._by_receiver.clear()
         self._all.clear()
-        self._sorted.clear()
+        self._eligible_set.clear()
+        if self._eligible is not None:
+            self._eligible.clear()
+        if self._eligible_fifo is not None:
+            self._eligible_fifo.clear()
+        self._future.clear()
+        self._future_times.clear()
+        self._eligible_through = 0
         self._size = 0
         self._pending_work = 0.0
         self._impact_fingerprint = 0
         if self._impact_index is not None:
             self._impact_index.clear()
+        if self._matching_index is not None:
+            self._matching_index.clear()
 
     def debit_work(self, amount: float) -> None:
         """Record that ``amount`` chunk-units of pending work were transmitted.
@@ -152,10 +222,76 @@ class PendingChunkPool:
         """Switch the incremental impact index on, backfilling current chunks."""
         if self._impact_index is None:
             index = ImpactIndex()
-            for chunk in self._sorted:
+            for chunk in self._all:
                 index.add(chunk)
             self._impact_index = index
         return self._impact_index
+
+    def enable_matching_index(self) -> MatchingIndex:
+        """Switch the incremental matching index on, backfilling eligible chunks."""
+        if self._matching_index is None:
+            index = MatchingIndex()
+            for chunk in sorted(self._eligible_set, key=chunk_priority_key):
+                index.activate(chunk)
+            self._matching_index = index
+        return self._matching_index
+
+    # ------------------------------------------------------------------ #
+    # eligibility partition
+    # ------------------------------------------------------------------ #
+    def _activate(self, chunk: Chunk) -> None:
+        """Move a chunk into the eligible partition's iteration structures."""
+        self._eligible_set.add(chunk)
+        if self._eligible is not None:
+            insort(self._eligible, chunk, key=chunk_priority_key)
+        if self._eligible_fifo is not None:
+            insort(self._eligible_fifo, chunk, key=chunk_fifo_key)
+        if self._matching_index is not None:
+            self._matching_index.activate(chunk)
+
+    def _sorted_eligible(self) -> List[Chunk]:
+        """The priority-ordered view of the eligible set, built on first use."""
+        if self._eligible is None:
+            self._eligible = sorted(self._eligible_set, key=chunk_priority_key)
+        return self._eligible
+
+    def advance_eligibility(self, now: int) -> None:
+        """Advance the watermark to ``now``, promoting every due activation bucket."""
+        if now <= self._eligible_through:
+            return
+        self._eligible_through = now
+        times = self._future_times
+        while times and times[0] <= now:
+            due = heappop(times)
+            bucket = self._future.pop(due, None)
+            if bucket:
+                for chunk in bucket:
+                    self._activate(chunk)
+
+    @property
+    def eligible_through(self) -> int:
+        """The watermark slot up to which activations have been applied.
+
+        Queries at ``now >= eligible_through`` (the engine's monotone use)
+        read the eligible partition directly; earlier ``now`` values fall
+        back to filtering it, preserving exact semantics for out-of-order
+        queries in tests.
+        """
+        return self._eligible_through
+
+    def next_activation_time(self) -> Optional[int]:
+        """The earliest ``eligible_time`` of any future (not yet eligible) chunk."""
+        times = self._future_times
+        while times and times[0] not in self._future:
+            heappop(times)  # stale entry: its bucket emptied before activating
+        return times[0] if times else None
+
+    def has_eligible(self, now: int) -> bool:
+        """Whether any pending chunk is eligible at ``now`` (advances the watermark)."""
+        self.advance_eligibility(now)
+        if now >= self._eligible_through:
+            return bool(self._eligible_set)
+        return any(c.eligible_time <= now for c in self._eligible_set)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -164,6 +300,11 @@ class PendingChunkPool:
     def impact_index(self) -> Optional[ImpactIndex]:
         """The maintained impact index, or ``None`` when running reference-style."""
         return self._impact_index
+
+    @property
+    def matching_index(self) -> Optional[MatchingIndex]:
+        """The maintained matching index, or ``None`` when running reference-style."""
+        return self._matching_index
 
     @property
     def impact_fingerprint(self) -> int:
@@ -246,7 +387,36 @@ class PendingChunkPool:
 
     def eligible_chunks(self, now: int) -> List[Chunk]:
         """All pending chunks whose ``eligible_time <= now``, in priority order."""
-        return [c for c in self._sorted if c.eligible_time <= now]
+        if now >= self._eligible_through:
+            self.advance_eligibility(now)
+            return list(self._sorted_eligible())
+        return [c for c in self._sorted_eligible() if c.eligible_time <= now]
+
+    def iter_eligible(self, now: int) -> Iterator[Chunk]:
+        """Iterate eligible chunks in priority order without materialising a list.
+
+        The pool must not be mutated while the iterator is live (the per-slot
+        schedulers read it to completion before transmitting anything).
+        """
+        if now >= self._eligible_through:
+            self.advance_eligibility(now)
+            return iter(self._sorted_eligible())
+        return (c for c in self._sorted_eligible() if c.eligible_time <= now)
+
+    def iter_eligible_fifo(self, now: int) -> Iterator[Chunk]:
+        """Iterate eligible chunks in FIFO (arrival) order without re-sorting.
+
+        The FIFO-ordered list is built on first use and maintained
+        incrementally afterwards, so only pools actually serving a
+        FIFO-ordered scheduler pay for the extra index.  The same
+        no-mutation-while-iterating rule as :meth:`iter_eligible` applies.
+        """
+        if self._eligible_fifo is None:
+            self._eligible_fifo = sorted(self._eligible_set, key=chunk_fifo_key)
+        if now >= self._eligible_through:
+            self.advance_eligibility(now)
+            return iter(self._eligible_fifo)
+        return (c for c in self._eligible_fifo if c.eligible_time <= now)
 
     def busy_transmitters(self) -> Set[str]:
         """Transmitters with at least one pending chunk."""

@@ -364,8 +364,11 @@ class Scenario:
         one instance at several speeds — set this to the base scenario's
         name, so only the engine configuration differs between variants.
     engine:
-        Dispatch evaluation backend (``"indexed"`` or ``"reference"``, see
-        :class:`~repro.simulation.engine.EngineConfig`); results are
+        Hot-path backend for dispatch *and* scheduling (``"indexed"`` or
+        ``"reference"``, see
+        :class:`~repro.simulation.engine.EngineConfig`): ``"indexed"``
+        enables the incremental impact index and the incremental matching
+        repairer, ``"reference"`` the O(n) scans.  Results are
         bit-identical, so this is a performance knob, overridable per run
         through :meth:`ScenarioMatrix.to_experiment_spec`.
     """
@@ -513,9 +516,10 @@ class ScenarioMatrix:
         of the cell's policies in a single ``run_multi`` pass;
         ``mode="per-policy"`` makes one task per (cell, policy), each
         rebuilding topology and workload — same rows, the pre-scenario
-        architecture.  ``engine`` overrides every scenario's dispatch backend
-        (``None`` keeps each scenario's own).  Row order and contents are
-        identical across modes, engines and jobs counts.
+        architecture.  ``engine`` overrides every scenario's hot-path backend
+        for dispatch and scheduling (``None`` keeps each scenario's own).
+        Row order and contents are identical across modes, engines and jobs
+        counts.
         """
         if mode not in SCENARIO_MODES:
             raise ScenarioError(f"mode must be one of {SCENARIO_MODES}, got {mode!r}")

@@ -61,10 +61,12 @@ __all__ = ["ENGINE_MODES", "EngineConfig", "SimulationEngine", "simulate", "simu
 #: Numerical tolerance used to snap remaining chunk work to zero.
 _WORK_EPSILON = 1e-9
 
-#: Dispatch evaluation backends: ``"indexed"`` maintains the pool's
-#: incremental impact index (O(log n) per candidate edge), ``"reference"``
-#: re-scans the adjacency lists (the historical O(n) loop kept for
-#: differential testing).  Both produce bit-identical results.
+#: Evaluation backends for the per-slot hot paths: ``"indexed"`` maintains
+#: the pool's incremental impact index (O(log n) per candidate edge) and —
+#: for schedulers that opt in — the incremental matching index (stable
+#: matching repaired from each slot's delta); ``"reference"`` re-scans the
+#: adjacency lists and replays the full greedy matching pass (the historical
+#: loops kept for differential testing).  Both produce bit-identical results.
 ENGINE_MODES = ("indexed", "reference")
 
 
@@ -88,14 +90,17 @@ class EngineConfig:
         Whether to check that the scheduler's output is a valid matching of
         eligible pending chunks each slot (cheap; enabled by default).
     slot_skipping:
-        Whether to jump directly to the next arrival slot when no chunk is
-        pending instead of simulating every empty slot (the sparse-arrival
-        fast path; enabled by default).  Skipped slots still count toward
-        ``max_slots`` and still contribute zero-size entries to
-        ``matching_sizes`` (and empty slot traces when ``record_trace`` is
-        on), so results are identical to the slot-by-slot walk for any
-        scheduler that selects nothing — and mutates nothing — when the pool
-        is empty, which holds for every scheduler in this repository.
+        Whether to jump over slots that provably transmit nothing instead of
+        simulating them one by one (enabled by default): with an empty pool
+        the engine jumps to the next arrival, and with a pool whose chunks
+        all wait in future activation buckets (head-of-line delays) it jumps
+        to the earlier of the next arrival and the next activation time.
+        Skipped slots still count toward ``max_slots`` and still contribute
+        zero-size entries to ``matching_sizes`` (and empty slot traces when
+        ``record_trace`` is on), so results are identical to the slot-by-slot
+        walk for any scheduler that selects nothing — and mutates nothing —
+        when no chunk is eligible, which holds for every scheduler in this
+        repository.
     retention:
         ``"full"`` (default) keeps a per-packet :class:`PacketRecord` and the
         per-slot ``matching_sizes`` list; ``"aggregate"`` consumes the input
@@ -111,12 +116,17 @@ class EngineConfig:
         then discarded, independent of ``record_trace`` — the streamed trace
         of an arbitrarily long run costs O(1) memory.
     engine:
-        Dispatch evaluation backend: ``"indexed"`` (default) gives every lane
-        a pool that maintains the incremental impact index, turning each
-        candidate-edge evaluation into an O(log n) rank query;
-        ``"reference"`` keeps the historical O(n) adjacency scan.  Results
-        are bit-identical; the reference loop remains the differential-test
-        oracle and the fallback while debugging the index.
+        Evaluation backend for both per-slot decisions.  ``"indexed"``
+        (default) gives every lane a pool that maintains the incremental
+        impact index (each candidate-edge evaluation becomes an O(log n)
+        rank query) and, for schedulers that opt in via
+        ``uses_matching_index``, the incremental matching index (the greedy
+        stable matching is repaired from the arrival/completion/activation
+        delta instead of recomputed from scratch).  ``"reference"`` keeps
+        the historical O(n) adjacency scan and the full greedy matching
+        pass.  Results are bit-identical; the reference paths remain the
+        differential-test oracle and the fallback while debugging the
+        indexes.
     share_dispatch:
         Whether :meth:`SimulationEngine.run_multi` lets lanes whose
         dispatchers share a rule (same ``dispatch_sharing_key``) reuse one
@@ -467,7 +477,15 @@ class _PolicyLane:
         self.recorder = recorder
         self.result = result
         self.writer = writer
-        self.pool = PendingChunkPool(impact_index=engine.config.engine == "indexed")
+        indexed = engine.config.engine == "indexed"
+        self.pool = PendingChunkPool(
+            impact_index=indexed,
+            # Only schedulers that read the incremental matching index get a
+            # pool that maintains one; other lanes (FIFO, iSLIP, …) would pay
+            # the repair bookkeeping without ever consulting it.
+            matching_index=indexed
+            and getattr(policy.scheduler, "uses_matching_index", False),
+        )
         self._slots_simulated = 0
         self._aggregate = engine.config.retention == "aggregate"
         self._want_events = engine.config.record_trace or writer is not None
@@ -527,16 +545,24 @@ class _PolicyLane:
         result.last_slot = slot
         slot += 1
 
-        # 3. Fast path: with no pending chunks, no slot can transmit
-        #    anything until the next arrival — jump straight to it.
+        # 3. Fast path: when no slot before the next arrival (or the next
+        #    chunk activation) can transmit anything, jump straight to it.
+        #    Two cases: an empty pool waits for the next arrival, and a pool
+        #    whose chunks all sit in future activation buckets additionally
+        #    waits for the earliest activation time.
         next_arrival = self.arrivals.next_slot()
-        if (
-            config.slot_skipping
-            and next_arrival is not None
-            and len(pool) == 0
-            and next_arrival > slot
-        ):
-            skipped = next_arrival - slot
+        target: Optional[int] = None
+        if config.slot_skipping:
+            if len(pool) == 0:
+                target = next_arrival
+            elif not pool.has_eligible(slot):
+                next_activation = pool.next_activation_time()
+                if next_arrival is None:
+                    target = next_activation
+                elif next_activation is not None:
+                    target = min(next_arrival, next_activation)
+        if target is not None and target > slot:
+            skipped = target - slot
             self._slots_simulated += skipped
             self._budget_check()
             # Keep the per-slot aggregates (and, when tracing, the empty
@@ -546,14 +572,14 @@ class _PolicyLane:
             else:
                 result.matching_sizes.extend([0] * skipped)
             if self._want_events:
-                for empty in range(slot, next_arrival):
+                for empty in range(slot, target):
                     empty_trace = SlotTrace(slot=empty)
                     if config.record_trace:
                         result.trace.slots.append(empty_trace)
                     if self.writer is not None:
                         self.writer.write(empty_trace)
-            result.last_slot = next_arrival - 1
-            slot = next_arrival
+            result.last_slot = target - 1
+            slot = target
         self.slot = slot
 
 

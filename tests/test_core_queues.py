@@ -151,3 +151,73 @@ class TestSortedIndexes:
             pool.add(make_chunks(pid, weight, edge=(f"t{pid}", f"r{pid}"))[0])
         weights = [c.weight for c in pool.eligible_chunks(now=10)]
         assert weights == [4.0, 2.0, 1.0]
+
+
+def delayed_chunk(pid: int, weight: float, edge=("t1", "r1"), arrival: int = 1, head_delay: int = 0):
+    packet = Packet(pid, "s", "d", weight=weight, arrival=arrival)
+    return split_into_chunks(packet, edge[0], edge[1], edge_delay=1, head_delay=head_delay)[0]
+
+
+class TestEligibilityPartition:
+    """Future chunks wait in activation buckets; queries stay exact."""
+
+    def test_next_activation_time(self):
+        pool = PendingChunkPool()
+        assert pool.next_activation_time() is None
+        pool.add(delayed_chunk(0, 1.0, head_delay=4))  # eligible at 5
+        pool.add(delayed_chunk(1, 1.0, edge=("t2", "r2"), head_delay=8))  # at 9
+        assert pool.next_activation_time() == 5
+        pool.advance_eligibility(5)
+        assert pool.next_activation_time() == 9
+
+    def test_next_activation_skips_emptied_bucket(self):
+        pool = PendingChunkPool()
+        early = delayed_chunk(0, 1.0, head_delay=2)
+        pool.add(early)
+        pool.add(delayed_chunk(1, 1.0, edge=("t2", "r2"), head_delay=6))
+        pool.remove(early)  # bucket at 3 empties; its heap entry goes stale
+        assert pool.next_activation_time() == 7
+
+    def test_has_eligible(self):
+        pool = PendingChunkPool()
+        assert not pool.has_eligible(1)
+        pool.add(delayed_chunk(0, 1.0, head_delay=3))
+        assert not pool.has_eligible(2)
+        assert pool.has_eligible(4)
+
+    def test_non_monotone_queries_filter_exactly(self):
+        pool = PendingChunkPool()
+        early = delayed_chunk(0, 1.0)
+        late = delayed_chunk(1, 5.0, edge=("t2", "r2"), head_delay=6)
+        pool.add(early)
+        pool.add(late)
+        assert set(pool.eligible_chunks(now=9)) == {early, late}  # watermark now 9
+        assert pool.eligible_chunks(now=2) == [early]
+        assert list(pool.iter_eligible(now=2)) == [early]
+        assert pool.has_eligible(2)
+        assert pool.eligible_through == 9
+
+    def test_iter_eligible_fifo_order_across_activations(self):
+        pool = PendingChunkPool()
+        # A later-arriving chunk activates *earlier* than an older chunk with
+        # a long head delay — FIFO order must follow arrival, not activation.
+        old_delayed = delayed_chunk(0, 1.0, edge=("t1", "r1"), arrival=1, head_delay=5)
+        young_prompt = delayed_chunk(1, 9.0, edge=("t2", "r2"), arrival=3)
+        pool.add(old_delayed)
+        pool.add(young_prompt)
+        assert list(pool.iter_eligible_fifo(3)) == [young_prompt]
+        assert list(pool.iter_eligible_fifo(6)) == [old_delayed, young_prompt]
+        # The lazily-built FIFO list is maintained by later mutations too.
+        newest = delayed_chunk(2, 4.0, edge=("t3", "r3"), arrival=6)
+        pool.add(newest)
+        pool.remove(young_prompt)
+        assert list(pool.iter_eligible_fifo(6)) == [old_delayed, newest]
+
+    def test_clear_resets_partition(self):
+        pool = PendingChunkPool()
+        pool.add(delayed_chunk(0, 1.0, head_delay=4))
+        list(pool.iter_eligible_fifo(1))  # force the FIFO view into existence
+        pool.clear()
+        assert pool.next_activation_time() is None
+        assert pool.eligible_chunks(99) == []
+        assert list(pool.iter_eligible_fifo(99)) == []

@@ -267,6 +267,28 @@ def _differential_scenarios() -> List[Tuple[Scenario, int]]:
         ),
         11,
     ))
+    # Head-of-line delays: chunks enter the pool before they are eligible,
+    # exercising the activation buckets and the jump-to-next-activation slot
+    # skipping against the naive slot-by-slot walk.
+    cells.append((
+        Scenario(
+            name="diff-head-delays",
+            description="differential-only: head/tail delays delay chunk eligibility",
+            topology=TopologySpec(
+                "projector",
+                {"num_racks": 4, "lasers_per_rack": 2, "photodetectors_per_rack": 2,
+                 "head_delay": 2, "tail_delay": 1},
+                fixed_link_delay=9,
+            ),
+            workload=WorkloadSpec(
+                "uniform", {"num_packets": 30, "arrival_rate": 0.8},
+                weights=("uniform", 1, 8),
+            ),
+            policies=("alg", "fifo", "islip", "impact+fifo"),
+            speed=1.3,
+        ),
+        5,
+    ))
     return cells
 
 
@@ -337,6 +359,34 @@ def test_naive_vs_fast_vs_run_multi(scenario: Scenario, seed: int) -> None:
                     f"{scenario.name}/{name} [{engine_mode}]: fast path vs "
                     f"{label} diverged"
                 )
+
+
+@pytest.mark.parametrize("scenario,seed", _CELLS, ids=_CELL_IDS)
+def test_engine_modes_trace_bit_identical(scenario: Scenario, seed: int) -> None:
+    """Indexed and reference engines agree slot-by-slot, not just in summary.
+
+    Every policy of every differential cell is replayed under both engine
+    modes with full tracing; the per-slot traces must be equal
+    object-for-object.  In particular each slot's ``matching`` lists edges in
+    the scheduler's selection order and each transmission names its chunk by
+    ``(packet_id, chunk_index)``, so this pins the incremental
+    matching-repair path to the reference greedy pass chunk-for-chunk *and*
+    order-for-order.
+    """
+    topology, stream, policies = scenario.materialise(seed)
+    packets = list(stream)
+    for name, policy in policies.items():
+        traces = {}
+        for engine_mode in ("indexed", "reference"):
+            result = simulate(
+                topology, policy, packets, speed=scenario.speed,
+                record_trace=True, engine=engine_mode,
+            )
+            traces[engine_mode] = result.trace.slots
+        assert traces["indexed"] == traces["reference"], (
+            f"{scenario.name}/{name}: per-slot traces diverged between "
+            "the indexed and reference engines"
+        )
 
 
 def test_naive_pool_is_really_naive() -> None:

@@ -76,6 +76,38 @@ def test_scenario_summaries_match_golden(update_golden: bool) -> None:
             )
 
 
+#: Cross-engine subset: the committed goldens were produced under the
+#: default ``engine="indexed"`` (incremental impact index + incremental
+#: matching repairer), so replaying these scenarios under the *reference*
+#: engine (O(n) adjacency scan, from-scratch greedy matching) must hit the
+#: very same fingerprints — the engine knob is speed-only by contract.
+#: Kept to the small deterministic scenarios so the slower reference scans
+#: stay cheap on every push.
+CROSS_ENGINE_SCENARIOS = (
+    "figure1", "figure2", "tiny-random", "priority-inversion-burst",
+)
+
+
+def test_reference_engine_matches_golden() -> None:
+    """Reference-engine rows equal the goldens the indexed engine produced."""
+    if not GOLDEN_PATH.is_file():
+        pytest.skip("golden file not generated yet")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    rows = scenario_matrix(
+        CROSS_ENGINE_SCENARIOS, name="golden-xengine"
+    ).run(engine="reference")
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        by_scenario.setdefault(row["scenario"], []).append(row)
+    for name in CROSS_ENGINE_SCENARIOS:
+        assert by_scenario[name] == golden[name], (
+            f"scenario {name!r}: reference-engine rows diverged from the "
+            "committed golden fingerprint — the indexed hot paths (impact "
+            "index, matching repairer) and the reference scans must stay "
+            "bit-identical"
+        )
+
+
 def test_golden_file_is_canonically_serialised() -> None:
     """Guard: the golden file is exactly what --update-golden would write.
 
