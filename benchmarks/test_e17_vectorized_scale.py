@@ -1,0 +1,123 @@
+"""E17 — transmission scalability: the numpy-batched vectorized backend.
+
+After PR 5 (dispatch) and PR 7 (scheduling), the remaining per-slot loop
+with super-constant cost is the transmission step: the reference/indexed
+engine builds a ``[head] + eligible others`` snapshot of every matched
+edge's full priority queue, an O(queue length) list build per matched edge
+per slot even though at speed ``s ≈ 1`` the head chunk absorbs the whole
+budget.  This benchmark pins ``engine="vectorized"`` — per-chunk state in
+parallel numpy arrays, each slot's matching applied as a masked
+scatter-subtract (:mod:`repro.simulation.vector_backend`) — against
+``engine="indexed"`` on a dense 64-rack saturated-pairs cell
+(:func:`repro.workloads.saturated_pairs_workload`): eight node-disjoint
+hot edges the matching serves every slot, each carrying a pending queue
+hundreds of chunks deep.  The per-edge snapshot walks those queues in
+full every slot; the vectorized fast path touches only the matched head
+rows — the worst case for one, the best case for the other.
+
+Both configurations run the identical dispatcher and (incremental)
+scheduler, so the ratio isolates the transmission backend; the phase
+breakdown from :func:`repro.simulation.timed_policy` (whose
+``transmit_s`` is timed by the engine itself) pins the transmit phase
+directly.  Summaries must be bit-identical first — the backend replays the
+reference arithmetic expression-for-expression.
+
+Environment knobs (the CI smoke step shrinks the cell and relaxes the
+thresholds; the defaults are the full-size assertions):
+
+* ``REPRO_E17_PACKETS`` — workload size;
+* ``REPRO_E17_RACKS`` — fabric size (≥64 by default);
+* ``REPRO_E17_PAIRS`` — number of node-disjoint saturated pairs;
+* ``REPRO_E17_DELAY`` — uniform reconfigurable-edge delay (chunks/packet);
+* ``REPRO_E17_MIN_SPEEDUP`` — minimum transmit-phase speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import OpportunisticLinkScheduler
+from repro.network import projector_fabric
+from repro.simulation import simulate, timed_policy
+from repro.workloads import uniform_weights
+from repro.workloads.adversarial import iter_saturated_pairs_workload
+
+E17_PACKETS = int(os.environ.get("REPRO_E17_PACKETS", "10000"))
+E17_RACKS = int(os.environ.get("REPRO_E17_RACKS", "64"))
+E17_PAIRS = int(os.environ.get("REPRO_E17_PAIRS", "8"))
+E17_DELAY = int(os.environ.get("REPRO_E17_DELAY", "4"))
+E17_MIN_SPEEDUP = float(os.environ.get("REPRO_E17_MIN_SPEEDUP", "2.0"))
+
+
+def _dense_cell(num_packets: int, num_racks: int = E17_RACKS, seed: int = 17):
+    """A saturated-pairs cell: few hot edges, each with a very deep queue.
+
+    Arrivals outpace the drain on the eight node-disjoint hot edges, so
+    each accumulates a pending queue hundreds of chunks deep while the
+    matching keeps serving all of them every slot — every indexed-transmit
+    slot snapshots those queues in full, while the vectorized fast path
+    touches only the matched head rows.
+    """
+    topology = projector_fabric(
+        num_racks=num_racks,
+        lasers_per_rack=2,
+        photodetectors_per_rack=2,
+        delay=E17_DELAY,
+        seed=seed,
+    )
+    packets = list(
+        iter_saturated_pairs_workload(
+            topology,
+            num_packets=num_packets,
+            num_pairs=E17_PAIRS,
+            hot_fraction=0.95,
+            arrival_rate=8.0,
+            weight_sampler=uniform_weights(1, 10),
+            seed=seed + 1,
+        )
+    )
+    return topology, packets
+
+
+def test_e17_vectorized_vs_indexed_transmit(run_once, report) -> None:
+    """The vectorized backend is ≥Nx faster on the transmit phase, bit-identically."""
+    topology, packets = _dense_cell(E17_PACKETS)
+
+    def compare():
+        out = {}
+        for engine_mode in ("indexed", "vectorized"):
+            policy, timings = timed_policy(OpportunisticLinkScheduler())
+            start = time.perf_counter()
+            result = simulate(
+                topology, policy, packets, engine=engine_mode, max_slots=10_000_000
+            )
+            total = time.perf_counter() - start
+            out[engine_mode] = (total, timings, result.summary())
+        return out
+
+    out = run_once(compare)
+    indexed_total, indexed_phases, indexed_summary = out["indexed"]
+    vector_total, vector_phases, vector_summary = out["vectorized"]
+    e2e_speedup = indexed_total / vector_total
+    phase_speedup = indexed_phases.transmit_s / vector_phases.transmit_s
+    report(
+        "E17 transmission scale: vectorized numpy backend vs indexed budget walk",
+        f"cell: {E17_RACKS} racks, {E17_PAIRS} saturated pairs, "
+        f"{len(packets)} packets, edge delay {E17_DELAY}\n"
+        f"end-to-end     : indexed {indexed_total:.2f}s   vectorized "
+        f"{vector_total:.2f}s   speedup {e2e_speedup:.1f}x\n"
+        f"transmit phase : indexed {indexed_phases.transmit_s:.2f}s   "
+        f"vectorized {vector_phases.transmit_s:.2f}s   speedup {phase_speedup:.1f}x\n"
+        f"phase breakdown (vectorized): {vector_phases.breakdown(vector_total)}",
+    )
+    # Bit-identity comes first: a fast backend that transmits differently is
+    # a bug, not a win.
+    assert vector_summary == indexed_summary, (
+        "vectorized transmission backend diverged from the indexed engine\n"
+        f"indexed:    {indexed_summary}\nvectorized: {vector_summary}"
+    )
+    assert phase_speedup >= E17_MIN_SPEEDUP, (
+        f"vectorized backend only {phase_speedup:.2f}x faster on the transmit "
+        f"phase (needed {E17_MIN_SPEEDUP}x) on a {E17_RACKS}-rack dense cell"
+    )

@@ -8,8 +8,12 @@ dense-contention cell (the E15/E16 benchmarks' receiver-hotspot fabric):
   per-lane dispatch;
 * scheduling — the from-scratch greedy stable-matching pass vs the
   incremental matching repairer, including a phase breakdown (time inside
-  ``dispatch`` vs ``select_matching`` vs the bookkeeping remainder) from a
-  separate instrumented run.
+  ``dispatch`` vs ``select_matching`` vs ``transmit`` vs the bookkeeping
+  remainder) from a separate instrumented run;
+* transmission — the per-edge budget walk of the indexed engine vs the
+  numpy-batched vectorized backend, compared on the transmit phase of two
+  instrumented runs over the E17 saturated-pairs cell (few node-disjoint
+  hot edges, each with a very deep pending queue).
 
 Every configuration is checked bit-identical against the reference before
 its timing is trusted.
@@ -41,10 +45,49 @@ from repro.core import OpportunisticLinkScheduler
 from repro.network import projector_fabric
 from repro.simulation import EngineConfig, SimulationEngine, simulate, timed_policy
 from repro.workloads import uniform_weights
-from repro.workloads.adversarial import iter_contention_hotspot_workload
+from repro.workloads.adversarial import (
+    iter_contention_hotspot_workload,
+    iter_saturated_pairs_workload,
+)
 
 REPO = Path(__file__).resolve().parent.parent
 NUM_LANES = 4
+
+
+def load_history(path: Path) -> list:
+    """Existing history points of ``path``, migrating the legacy shape.
+
+    Returns ``[]`` when the file does not exist.  A PR-7+ document is a dict
+    with a ``history`` list; a pre-history file is a single benchmark point
+    (a dict without ``history``) and becomes the first entry.  Corrupt JSON
+    or an unrecognised shape raises :class:`ValueError` so the caller can
+    abort instead of silently overwriting the recorded trajectory.
+    """
+    if not path.exists():
+        return []
+    try:
+        existing = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not valid JSON ({exc}); fix or move the file, then re-run"
+        ) from exc
+    if not isinstance(existing, dict):
+        raise ValueError(
+            f"{path} holds a top-level {type(existing).__name__}, expected a "
+            "benchmark document; fix or move the file, then re-run"
+        )
+    if "history" in existing:
+        history = existing["history"]
+        if not isinstance(history, list):
+            raise ValueError(
+                f"{path} has a non-list 'history' "
+                f"({type(history).__name__}); fix or move the file, then re-run"
+            )
+        return history
+    # Pre-history single-point file: keep it as the first entry.
+    legacy = dict(existing)
+    legacy.pop("benchmark", None)
+    return [legacy]
 
 
 def build_cell(num_racks: int, num_packets: int, seed: int, delay: int = 1):
@@ -68,6 +111,36 @@ def build_cell(num_racks: int, num_packets: int, seed: int, delay: int = 1):
             topology,
             num_packets=num_packets,
             side="receiver",
+            hot_fraction=0.95,
+            arrival_rate=8.0,
+            weight_sampler=uniform_weights(1, 10),
+            seed=seed + 1,
+        )
+    )
+    return topology, packets, time.perf_counter() - start
+
+
+def build_saturated_cell(num_racks: int, num_packets: int, seed: int, delay: int = 1):
+    """The saturated-pairs cell shared with benchmark E17.
+
+    Eight node-disjoint hot edges the matching serves every slot, each with
+    a pending queue hundreds of chunks deep — the worst case for the
+    indexed engine's per-edge queue snapshot, which is what the transmit
+    comparison below is meant to stress.
+    """
+    start = time.perf_counter()
+    topology = projector_fabric(
+        num_racks=num_racks,
+        lasers_per_rack=2,
+        photodetectors_per_rack=2,
+        delay=delay,
+        seed=seed,
+    )
+    packets = list(
+        iter_saturated_pairs_workload(
+            topology,
+            num_packets=num_packets,
+            num_pairs=8,
             hot_fraction=0.95,
             arrival_rate=8.0,
             weight_sampler=uniform_weights(1, 10),
@@ -124,6 +197,7 @@ def main() -> int:
     parser.add_argument("--multi-packets", type=int, default=3000)
     parser.add_argument("--scheduler-packets", type=int, default=8000)
     parser.add_argument("--scheduler-delay", type=int, default=4)
+    parser.add_argument("--transmit-packets", type=int, default=10000)
     parser.add_argument("--racks", type=int, default=64)
     parser.add_argument("--seed", type=int, default=15)
     parser.add_argument("--output", default=str(REPO / "BENCH_dispatch.json"))
@@ -180,6 +254,33 @@ def main() -> int:
     scheduler_phase_speedup = flat_phases.scheduler_s / inc_phases.scheduler_s
     print(f"scheduler phase: flat {flat_phases.scheduler_s:.2f}s | incremental "
           f"{inc_phases.scheduler_s:.2f}s | speedup {scheduler_phase_speedup:.1f}x")
+
+    # Transmission hot path, on the E17 saturated-pairs cell (few hot edges,
+    # each with a very deep queue — the worst case for the indexed engine's
+    # per-edge queue snapshot): the indexed budget walk vs the numpy-batched
+    # vectorized backend.  Both sides are instrumented runs, so the phase
+    # ratio carries identical timing overhead.
+    trans_topology, trans_packets, trans_gen = build_saturated_cell(
+        args.racks, args.transmit_packets, args.seed, delay=args.scheduler_delay
+    )
+    print(f"transmit cell : {args.racks} racks, 8 saturated pairs, "
+          f"{len(trans_packets)} packets, edge delay {args.scheduler_delay} "
+          f"(generated in {trans_gen:.2f}s)")
+    idx_total, idx_phases, idx_timed_summary = time_single_phases(
+        trans_topology, trans_packets, "indexed", incremental=True
+    )
+    vec_total, vec_phases, vec_timed_summary = time_single_phases(
+        trans_topology, trans_packets, "vectorized", incremental=True
+    )
+    if vec_timed_summary != idx_timed_summary:
+        print("FATAL: vectorized-backend summary diverged from the indexed engine",
+              file=sys.stderr)
+        return 1
+    transmit_phase_speedup = idx_phases.transmit_s / vec_phases.transmit_s
+    transmit_e2e_speedup = idx_total / vec_total
+    print(f"transmit phase : indexed {idx_phases.transmit_s:.2f}s | vectorized "
+          f"{vec_phases.transmit_s:.2f}s | speedup {transmit_phase_speedup:.1f}x "
+          f"(e2e {transmit_e2e_speedup:.1f}x)")
 
     _, multi_packets, _ = build_cell(args.racks, args.multi_packets, args.seed)
     per_lane_time, per_lane_summaries, _ = time_multi(
@@ -246,23 +347,33 @@ def main() -> int:
             "phase_speedup": round(scheduler_phase_speedup, 2),
             "bit_identical": True,
         },
+        "transmit": {
+            "num_packets": len(trans_packets),
+            "edge_delay": args.scheduler_delay,
+            "workload": "saturated-pairs (num_pairs=8, hot_fraction=0.95, "
+                        "arrival_rate=8.0, uniform weights 1..10)",
+            "indexed_transmit_s": round(idx_phases.transmit_s, 4),
+            "vectorized_transmit_s": round(vec_phases.transmit_s, 4),
+            "phase_speedup": round(transmit_phase_speedup, 2),
+            "e2e_speedup": round(transmit_e2e_speedup, 2),
+            "phase_breakdown_vectorized": vec_phases.breakdown(vec_total),
+            "bit_identical": True,
+        },
     }
 
     output = Path(args.output)
-    history = []
-    if output.exists():
-        existing = json.loads(output.read_text())
-        if "history" in existing:
-            history = existing["history"]
-        else:
-            # Pre-history single-point file: keep it as the first entry.
-            existing.pop("benchmark", None)
-            history = [existing]
+    try:
+        history = load_history(output)
+    except ValueError as exc:
+        print(f"FATAL: refusing to overwrite benchmark history: {exc}",
+              file=sys.stderr)
+        return 1
     payload.pop("benchmark", None)
     history.append(payload)
     output.write_text(
         json.dumps({"benchmark": "dispatch-hot-path", "history": history}, indent=2)
-        + "\n"
+        + "\n",
+        encoding="utf-8",
     )
     print(f"wrote {output} ({len(history)} history points)")
     return 0

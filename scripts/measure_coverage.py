@@ -32,7 +32,7 @@ SRC = REPO / "src" / "repro"
 
 def executable_lines(path: Path) -> Set[int]:
     """Line numbers of every executable line of one module (coverage.py's universe)."""
-    code = compile(path.read_text(), str(path), "exec")
+    code = compile(path.read_text(encoding="utf-8"), str(path), "exec")
     lines: Set[int] = set()
     stack = [code]
     while stack:

@@ -246,12 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
         "rows are identical)",
     )
     scen_run.add_argument(
-        "--engine", choices=("indexed", "reference"), default=None,
+        "--engine", choices=("indexed", "reference", "vectorized"), default=None,
         help="hot-path backend for dispatch AND scheduling: 'indexed' uses "
         "the incremental impact index plus the incremental matching "
-        "repairer, 'reference' the O(n) adjacency scan with from-scratch "
-        "matching; rows are bit-identical (default: each scenario's own "
-        "setting)",
+        "repairer, 'vectorized' adds the numpy-batched transmission step "
+        "on top of the indexed paths, 'reference' the O(n) adjacency scan "
+        "with from-scratch matching; rows are bit-identical (default: each "
+        "scenario's own setting)",
     )
     scen_run.add_argument(
         "--output", default=None,

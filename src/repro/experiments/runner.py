@@ -282,13 +282,13 @@ def write_json(
 ) -> Path:
     """Write rows to ``path`` as JSON and return the path."""
     path = Path(path)
-    path.write_text(rows_to_json(rows, spec=spec) + "\n")
+    path.write_text(rows_to_json(rows, spec=spec) + "\n", encoding="utf-8")
     return path
 
 
 def read_json(path: Union[str, Path]) -> List[Dict[str, Any]]:
     """Load the rows previously written by :func:`write_json`."""
-    document = json.loads(Path(path).read_text())
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
     if not isinstance(document, dict) or "rows" not in document:
         raise ExperimentError(f"{path} does not look like runner JSON output")
     return list(document["rows"])
@@ -301,7 +301,7 @@ def write_jsonl(rows: Iterable[object], path: Union[str, Path]) -> Path:
     whole document in memory — the persistence format for large sweeps.
     """
     path = Path(path)
-    with path.open("w") as handle:
+    with path.open("w", encoding="utf-8") as handle:
         for row in rows:
             handle.write(json.dumps(_row_to_jsonable(row), sort_keys=True) + "\n")
     return path

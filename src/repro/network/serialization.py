@@ -85,7 +85,10 @@ def topology_from_dict(data: Dict[str, Any]) -> TwoTierTopology:
 def save_topology(topology: TwoTierTopology, path: Union[str, Path]) -> Path:
     """Write ``topology`` to ``path`` as JSON and return the path."""
     path = Path(path)
-    path.write_text(json.dumps(topology_to_dict(topology), indent=2, sort_keys=True))
+    path.write_text(
+        json.dumps(topology_to_dict(topology), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
     return path
 
 
@@ -93,7 +96,7 @@ def load_topology(path: Union[str, Path]) -> TwoTierTopology:
     """Load a topology previously written by :func:`save_topology`."""
     path = Path(path)
     try:
-        data = json.loads(path.read_text())
+        data = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise TopologyError(f"file {path} is not valid JSON: {exc}") from exc
     return topology_from_dict(data)

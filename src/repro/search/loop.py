@@ -30,9 +30,10 @@ same keys and continues as if the run had never stopped.
 from __future__ import annotations
 
 import json
+from contextlib import ExitStack
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import SearchError
 from repro.experiments.runner import ExperimentRunner, ExperimentSpec, ExperimentTask, RunnerConfig
@@ -234,6 +235,39 @@ def _config_from_json(data: Dict[str, Any]) -> SearchConfig:
     return SearchConfig(**payload)
 
 
+class _CheckpointWriter:
+    """Context manager owning a search-checkpoint JSONL handle.
+
+    Every write — including the initial meta record — happens inside the
+    managed scope, so an exception anywhere (an objective raising
+    mid-generation included) still closes the handle instead of leaking it,
+    and every fully written generation line stays parseable for ``resume``.
+    Each record is written as one line and flushed immediately: a failing
+    run can lose at most the record being written, never truncate earlier
+    ones.
+    """
+
+    def __init__(self, path: Union[str, Path], mode: str) -> None:
+        self._path = Path(path)
+        self._mode = mode
+        self._handle: Optional[IO[str]] = None
+
+    def __enter__(self) -> "_CheckpointWriter":
+        self._handle = self._path.open(self._mode, encoding="utf-8")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Append ``record`` as one flushed JSON line."""
+        assert self._handle is not None, "checkpoint writer used outside its scope"
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+
 def read_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
     """Parse a search checkpoint into ``{"meta": …, "generations": […]}``."""
     path = Path(path)
@@ -243,7 +277,7 @@ def read_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
     # appends an updated one); the last wins, like the generation records.
     meta: Optional[Dict[str, Any]] = None
     generations: List[Dict[str, Any]] = []
-    with path.open("r") as handle:
+    with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -290,23 +324,21 @@ class AdversarialSearch:
     # ------------------------------------------------------------------ #
     def run(self, checkpoint_path: Optional[Union[str, Path]] = None) -> SearchResult:
         """Run the search from scratch (truncating any existing checkpoint)."""
-        handle = None
-        if checkpoint_path is not None:
-            handle = Path(checkpoint_path).open("w")
-            handle.write(json.dumps(self._meta_record(), sort_keys=True) + "\n")
-            handle.flush()
-        try:
+        with ExitStack() as stack:
+            checkpoint = None
+            if checkpoint_path is not None:
+                checkpoint = stack.enter_context(
+                    _CheckpointWriter(checkpoint_path, "w")
+                )
+                checkpoint.write_record(self._meta_record())
             return self._drive(
                 start_generation=0,
                 population=None,
                 scores={},
                 hall_of_fame=[],
                 best_history=[],
-                checkpoint=handle,
+                checkpoint=checkpoint,
             )
-        finally:
-            if handle is not None:
-                handle.close()
 
     def resume(
         self,
@@ -344,25 +376,21 @@ class AdversarialSearch:
             HallOfFameEntry.from_json(entry) for entry in last["hall_of_fame"]
         ]
         population = [dict(p) for p in last["population"]]
-        handle = Path(checkpoint_path).open("a")
-        if generations is not None:
-            # Persist the extended budget: a later resume (e.g. after this
-            # continuation is interrupted) must see the new target, not the
-            # original one, or it would stop short without a word.
-            handle.write(json.dumps(self._meta_record(), sort_keys=True) + "\n")
-            handle.flush()
-        try:
+        with _CheckpointWriter(checkpoint_path, "a") as checkpoint:
+            if generations is not None:
+                # Persist the extended budget: a later resume (e.g. after this
+                # continuation is interrupted) must see the new target, not the
+                # original one, or it would stop short without a word.
+                checkpoint.write_record(self._meta_record())
             return self._drive(
                 start_generation=int(last["generation"]) + 1,
                 population=population,
                 scores=scores,
                 hall_of_fame=hall_of_fame,
                 best_history=best_history,
-                checkpoint=handle,
+                checkpoint=checkpoint,
                 scenario_names=names,
             )
-        finally:
-            handle.close()
 
     # ------------------------------------------------------------------ #
     # internals
@@ -527,21 +555,16 @@ class AdversarialSearch:
             best = hall_of_fame[0].score if hall_of_fame else 0.0
             best_history.append(best)
             if checkpoint is not None:
-                checkpoint.write(
-                    json.dumps(
-                        {
-                            "type": "generation",
-                            "generation": generation,
-                            "population": [dict(p) for p in population],
-                            "evaluations": new_rows,
-                            "hall_of_fame": [e.to_json() for e in hall_of_fame],
-                            "best_score": best,
-                        },
-                        sort_keys=True,
-                    )
-                    + "\n"
+                checkpoint.write_record(
+                    {
+                        "type": "generation",
+                        "generation": generation,
+                        "population": [dict(p) for p in population],
+                        "evaluations": new_rows,
+                        "hall_of_fame": [e.to_json() for e in hall_of_fame],
+                        "best_score": best,
+                    }
                 )
-                checkpoint.flush()
             if (
                 cfg.stagnation_limit > 0
                 and len(best_history) > cfg.stagnation_limit

@@ -38,6 +38,7 @@ times while producing per-policy results bit-identical to ``P`` separate
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -55,19 +56,20 @@ from repro.simulation.trace import (
     SlotTraceWriter,
     TransmissionEvent,
 )
+from repro.simulation.vector_backend import _WORK_EPSILON, VectorTransmitBackend
 
 __all__ = ["ENGINE_MODES", "EngineConfig", "SimulationEngine", "simulate", "simulate_multi"]
-
-#: Numerical tolerance used to snap remaining chunk work to zero.
-_WORK_EPSILON = 1e-9
 
 #: Evaluation backends for the per-slot hot paths: ``"indexed"`` maintains
 #: the pool's incremental impact index (O(log n) per candidate edge) and —
 #: for schedulers that opt in — the incremental matching index (stable
-#: matching repaired from each slot's delta); ``"reference"`` re-scans the
-#: adjacency lists and replays the full greedy matching pass (the historical
-#: loops kept for differential testing).  Both produce bit-identical results.
-ENGINE_MODES = ("indexed", "reference")
+#: matching repaired from each slot's delta); ``"vectorized"`` adds the
+#: numpy-batched transmission step on top of the indexed decision paths
+#: (per-chunk state in parallel arrays, each slot's matching applied as a
+#: masked scatter-subtract); ``"reference"`` re-scans the adjacency lists
+#: and replays the full greedy matching pass (the historical loops kept for
+#: differential testing).  All three produce bit-identical results.
+ENGINE_MODES = ("indexed", "reference", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -122,9 +124,15 @@ class EngineConfig:
         rank query) and, for schedulers that opt in via
         ``uses_matching_index``, the incremental matching index (the greedy
         stable matching is repaired from the arrival/completion/activation
-        delta instead of recomputed from scratch).  ``"reference"`` keeps
-        the historical O(n) adjacency scan and the full greedy matching
-        pass.  Results are bit-identical; the reference paths remain the
+        delta instead of recomputed from scratch).  ``"vectorized"`` keeps
+        the indexed decision paths and additionally batches the per-slot
+        transmission step through
+        :class:`~repro.simulation.vector_backend.VectorTransmitBackend`
+        (per-chunk state in parallel numpy arrays, the matching applied as
+        a masked scatter-subtract — the backend of choice for dense cells
+        with deep per-edge queues).  ``"reference"`` keeps the historical
+        O(n) adjacency scan and the full greedy matching pass.  Results are
+        bit-identical across all three; the reference paths remain the
         differential-test oracle and the fallback while debugging the
         indexes.
     share_dispatch:
@@ -456,10 +464,12 @@ class _PolicyLane:
         "result",
         "writer",
         "pool",
+        "backend",
         "slot",
         "_slots_simulated",
         "_aggregate",
         "_want_events",
+        "_timings",
     )
 
     def __init__(
@@ -477,7 +487,9 @@ class _PolicyLane:
         self.recorder = recorder
         self.result = result
         self.writer = writer
-        indexed = engine.config.engine == "indexed"
+        # "vectorized" keeps the indexed decision paths (impact + matching
+        # index) and only swaps the transmission step for the numpy batch.
+        indexed = engine.config.engine in ("indexed", "vectorized")
         self.pool = PendingChunkPool(
             impact_index=indexed,
             # Only schedulers that read the incremental matching index get a
@@ -486,6 +498,12 @@ class _PolicyLane:
             matching_index=indexed
             and getattr(policy.scheduler, "uses_matching_index", False),
         )
+        self.backend = (
+            VectorTransmitBackend() if engine.config.engine == "vectorized" else None
+        )
+        # Profiled policies (see repro.simulation.timed_policy) carry their
+        # PhaseTimings; the engine times the transmit phase for them.
+        self._timings = getattr(policy, "phase_timings", None)
         self._slots_simulated = 0
         self._aggregate = engine.config.retention == "aggregate"
         self._want_events = engine.config.record_trace or writer is not None
@@ -520,7 +538,9 @@ class _PolicyLane:
 
         # 1. Pull and dispatch this slot's arrival batch, in input order.
         for packet in self.arrivals.pop(slot):
-            engine._dispatch_packet(self.policy, packet, pool, slot, self.recorder, slot_trace)
+            engine._dispatch_packet(
+                self.policy, packet, pool, slot, self.recorder, slot_trace, self.backend
+            )
 
         # 2. Ask the scheduler for this slot's matching and transmit it.
         matching = self.policy.scheduler.select_matching(pool, engine.topology, slot)
@@ -534,8 +554,17 @@ class _PolicyLane:
         if slot_trace is not None:
             slot_trace.matching = [chunk.edge for chunk in matching]
 
-        for chunk in matching:
-            engine._transmit_on_edge(chunk, pool, slot, self.recorder, slot_trace)
+        timings = self._timings
+        transmit_start = time.perf_counter() if timings is not None else 0.0
+        if self.backend is not None:
+            self.backend.transmit_slot(
+                matching, pool, slot, config.speed, self.recorder, slot_trace
+            )
+        else:
+            for chunk in matching:
+                engine._transmit_on_edge(chunk, pool, slot, self.recorder, slot_trace)
+        if timings is not None:
+            timings.transmit_s += time.perf_counter() - transmit_start
 
         if slot_trace is not None:
             if config.record_trace:
@@ -834,6 +863,7 @@ class SimulationEngine:
         slot: int,
         recorder: _Recorder,
         slot_trace: Optional[SlotTrace],
+        backend: Optional[VectorTransmitBackend] = None,
     ) -> None:
         assignment = policy.dispatcher.dispatch(packet, self.topology, pool, slot)
         if isinstance(assignment, EdgeAssignment):
@@ -844,6 +874,8 @@ class SimulationEngine:
                 )
             recorder.on_dispatch(packet, assignment)
             pool.add_all(assignment.chunks)
+            if backend is not None:
+                backend.add_chunks(assignment.chunks)
         elif isinstance(assignment, FixedLinkAssignment):
             recorder.on_dispatch(packet, assignment)
         else:  # pragma: no cover - defensive

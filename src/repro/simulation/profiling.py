@@ -6,9 +6,12 @@ benchmarks can split a run's total into
 
 * ``dispatch`` — time inside ``Dispatcher.dispatch`` (per arriving packet),
 * ``scheduler`` — time inside ``Scheduler.select_matching`` (per slot),
-* ``bookkeeping`` — everything else (pool maintenance, transmission
-  accounting, recorders), obtained as the remainder against the measured
-  total.
+* ``transmit`` — time applying the selected matching (budget walk, latency
+  accounting, completion bookkeeping); timed by the engine itself, which
+  discovers the timings object through the ``phase_timings`` attribute the
+  proxy policy carries,
+* ``bookkeeping`` — everything else (pool maintenance, arrivals, recorders),
+  obtained as the remainder against the measured total.
 
 The wrappers forward decisions unchanged, so a timed run produces the exact
 results of the untimed one; only the two ``perf_counter`` calls per
@@ -33,25 +36,30 @@ __all__ = ["PhaseTimings", "timed_policy"]
 class PhaseTimings:
     """Accumulated per-phase wall-clock seconds of a timed run."""
 
-    __slots__ = ("dispatch_s", "scheduler_s")
+    __slots__ = ("dispatch_s", "scheduler_s", "transmit_s")
 
     def __init__(self) -> None:
         self.dispatch_s = 0.0
         self.scheduler_s = 0.0
+        self.transmit_s = 0.0
 
     def reset(self) -> None:
         self.dispatch_s = 0.0
         self.scheduler_s = 0.0
+        self.transmit_s = 0.0
 
     def bookkeeping_s(self, total_s: float) -> float:
-        """The remainder of ``total_s`` not spent dispatching or scheduling."""
-        return max(total_s - self.dispatch_s - self.scheduler_s, 0.0)
+        """The remainder of ``total_s`` not spent in any timed phase."""
+        return max(
+            total_s - self.dispatch_s - self.scheduler_s - self.transmit_s, 0.0
+        )
 
     def breakdown(self, total_s: float) -> dict:
         """A JSON-friendly ``{phase: seconds}`` dict for ``total_s``."""
         return {
             "dispatch_s": round(self.dispatch_s, 4),
             "scheduler_s": round(self.scheduler_s, 4),
+            "transmit_s": round(self.transmit_s, 4),
             "bookkeeping_s": round(self.bookkeeping_s(total_s), 4),
         }
 
@@ -99,4 +107,7 @@ def timed_policy(policy: Policy) -> Tuple[Policy, PhaseTimings]:
         dispatcher=_TimedDispatcher(policy.dispatcher, timings),
         scheduler=_TimedScheduler(policy.scheduler, timings),
     )
+    # The transmit phase has no policy hook to wrap: the engine times its own
+    # transmission block when the policy it runs carries this attribute.
+    proxy.phase_timings = timings
     return proxy, timings

@@ -178,7 +178,7 @@ class SlotTraceWriter:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
-        self._handle: Optional[IO[str]] = self.path.open("w")
+        self._handle: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
         self.slots_written = 0
 
     def write(self, slot_trace: SlotTrace) -> None:

@@ -1,0 +1,346 @@
+"""Numpy-batched transmission backend (``engine="vectorized"``).
+
+The reference transmission step (:meth:`SimulationEngine._transmit_on_edge`)
+walks every matched edge's full priority queue to build a ``[head] +
+eligible others`` snapshot, even though at speed ``s ≈ 1`` the head chunk
+almost always absorbs the whole budget — an O(queue length) list build per
+matched edge per slot that dominates dense, deep-pool cells.  This backend
+instead keeps every in-flight chunk's state in parallel numpy arrays and
+applies a slot's matching as one masked scatter-subtract:
+
+* **array layout** — each dispatched chunk owns a row across five parallel
+  arrays: ``remaining`` (chunk-units of work left), ``size`` (the ``1/d(e)``
+  packet fraction per unit of work), ``pweight`` (packet weight),
+  ``arrival`` (packet arrival slot) and ``tail`` (receiver-tier delay
+  ``d(r, dest)``).  A dict maps chunks to rows; completed rows return to a
+  free list, so the arrays stay as dense as the in-flight population.
+* **fast path** — when every matched head chunk absorbs the full budget
+  (``speed - min(speed, remaining) <= ε``, the overwhelmingly common case),
+  the slot is a pure gather/scatter on the head rows: no edge queue is ever
+  touched.
+* **spill path** — any leftover budget falls back to a faithful per-edge
+  walk over the pool's zero-copy :meth:`~repro.core.queues.PendingChunkPool.
+  edge_queue` view, consuming chunks head-first in priority order exactly
+  like the reference loop, before the batched apply.
+
+**Exact-arithmetic invariant.**  Summaries must stay bit-identical to the
+reference loop, so the batched math replays the reference expressions with
+the same IEEE-754 association order — ``new_remaining = remaining - amount``
+and ``contribution = (amount · size) · weight · (delivery − arrival)`` — and
+numpy float64 elementwise operations are bit-identical to the equivalent
+Python scalar operations.  Per-packet accumulation order matters too, so
+recorder callbacks, pool debits and trace events are replayed scalar-side in
+the exact global transmission order (matching order, head before spill).
+
+Batches smaller than :data:`_VECTOR_MIN_BATCH` skip numpy entirely and run a
+scalar loop over the same state (fixed per-call numpy overhead outweighs the
+win on tiny matchings); both paths produce identical bits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.packet import Chunk
+from repro.core.queues import PendingChunkPool
+from repro.simulation.trace import SlotTrace, TransmissionEvent
+
+__all__ = ["VectorTransmitBackend"]
+
+#: Numerical tolerance used to snap remaining chunk work to zero (the
+#: canonical definition; the engine re-exports it as ``engine._WORK_EPSILON``).
+_WORK_EPSILON = 1e-9
+
+#: Matchings smaller than this run the scalar loop instead of the numpy
+#: batch — below it, numpy's fixed per-call overhead exceeds the loop cost.
+_VECTOR_MIN_BATCH = 8
+
+
+class VectorTransmitBackend:
+    """Per-lane parallel-array state plus the batched per-slot transmit.
+
+    One backend instance belongs to exactly one simulation lane (one pool):
+    the engine registers every dispatched edge chunk via :meth:`add_chunks`
+    and replaces its per-edge transmission loop with :meth:`transmit_slot`.
+    ``min_batch`` overrides the scalar/vector crossover (mainly for tests
+    that force one path or the other).
+    """
+
+    __slots__ = (
+        "_capacity",
+        "_remaining",
+        "_size",
+        "_pweight",
+        "_arrival",
+        "_tail",
+        "_chunks",
+        "_row_of",
+        "_free",
+        "_top",
+        "_min_batch",
+    )
+
+    def __init__(self, capacity: int = 256, min_batch: Optional[int] = None) -> None:
+        self._capacity = max(int(capacity), 16)
+        self._remaining = np.zeros(self._capacity, dtype=np.float64)
+        self._size = np.zeros(self._capacity, dtype=np.float64)
+        self._pweight = np.zeros(self._capacity, dtype=np.float64)
+        self._arrival = np.zeros(self._capacity, dtype=np.int64)
+        self._tail = np.zeros(self._capacity, dtype=np.int64)
+        self._chunks: List[Optional[Chunk]] = [None] * self._capacity
+        self._row_of: Dict[Chunk, int] = {}
+        self._free: List[int] = []
+        self._top = 0
+        self._min_batch = _VECTOR_MIN_BATCH if min_batch is None else min_batch
+
+    def __len__(self) -> int:
+        """Number of in-flight chunks currently holding a row."""
+        return len(self._row_of)
+
+    # ------------------------------------------------------------------ #
+    # row management
+    # ------------------------------------------------------------------ #
+    def add_chunks(self, chunks: Sequence[Chunk]) -> None:
+        """Register newly dispatched chunks (mirrors ``pool.add_all``)."""
+        for chunk in chunks:
+            if self._free:
+                row = self._free.pop()
+            else:
+                if self._top == self._capacity:
+                    self._grow()
+                row = self._top
+                self._top += 1
+            self._row_of[chunk] = row
+            self._chunks[row] = chunk
+            self._remaining[row] = chunk.remaining_work
+            self._size[row] = chunk.size
+            self._pweight[row] = chunk.packet.weight
+            self._arrival[row] = chunk.packet.arrival
+            self._tail[row] = chunk.tail_delay
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        for name in ("_remaining", "_size", "_pweight", "_arrival", "_tail"):
+            old = getattr(self, name)
+            grown = np.zeros(new_capacity, dtype=old.dtype)
+            grown[: self._capacity] = old
+            setattr(self, name, grown)
+        self._chunks.extend([None] * (new_capacity - self._capacity))
+        self._capacity = new_capacity
+
+    def _release(self, chunk: Chunk, row: int) -> None:
+        del self._row_of[chunk]
+        self._chunks[row] = None
+        self._free.append(row)
+
+    # ------------------------------------------------------------------ #
+    # the per-slot transmission step
+    # ------------------------------------------------------------------ #
+    def transmit_slot(
+        self,
+        matching: Sequence[Chunk],
+        pool: PendingChunkPool,
+        slot: int,
+        speed: float,
+        recorder,
+        slot_trace: Optional[SlotTrace],
+    ) -> None:
+        """Transmit one slot's matching (chunks on node-disjoint edges).
+
+        Edge-disjointness — which the engine validates — is what makes the
+        batched apply safe: no row can receive work twice in one slot, so
+        gathering every (row, amount) pair before any state change reads
+        only pre-slot values, exactly like the reference per-edge snapshots.
+        """
+        count = len(matching)
+        if count == 0:
+            return
+        if count < self._min_batch:
+            self._transmit_scalar(matching, pool, slot, speed, recorder, slot_trace)
+            return
+        row_of = self._row_of
+        head_rows = np.fromiter(
+            (row_of[chunk] for chunk in matching), dtype=np.intp, count=count
+        )
+        amounts = np.minimum(speed, self._remaining[head_rows])
+        if ((speed - amounts) > _WORK_EPSILON).any():
+            # Some edge has leftover budget: re-gather with the faithful
+            # per-edge spill walk so consumption order matches the reference.
+            rows_list, amounts_list = self._gather_spill(matching, pool, slot, speed)
+            head_rows = np.fromiter(rows_list, dtype=np.intp, count=len(rows_list))
+            amounts = np.fromiter(
+                amounts_list, dtype=np.float64, count=len(amounts_list)
+            )
+        self._apply_batch(head_rows, amounts, pool, slot, recorder, slot_trace)
+
+    def _gather_spill(
+        self,
+        matching: Sequence[Chunk],
+        pool: PendingChunkPool,
+        slot: int,
+        speed: float,
+    ) -> Tuple[List[int], List[float]]:
+        """The reference budget walk, recording (row, amount) pairs only.
+
+        Nothing is mutated here, so the zero-copy ``edge_queue`` view is safe
+        to iterate; chunk ``remaining_work`` attributes are kept in sync with
+        the arrays by every apply path, so reading them is exact.
+        """
+        rows: List[int] = []
+        amounts: List[float] = []
+        row_of = self._row_of
+        for head in matching:
+            budget = speed
+            amount = min(budget, head.remaining_work)
+            if amount > 0:
+                budget -= amount
+                rows.append(row_of[head])
+                amounts.append(amount)
+            if budget <= _WORK_EPSILON:
+                continue
+            for chunk in pool.edge_queue(*head.edge):
+                if chunk is head or chunk.eligible_time > slot:
+                    continue
+                if budget <= _WORK_EPSILON:
+                    break
+                amount = min(budget, chunk.remaining_work)
+                if amount <= 0:
+                    continue
+                budget -= amount
+                rows.append(row_of[chunk])
+                amounts.append(amount)
+        return rows, amounts
+
+    def _apply_batch(
+        self,
+        rows: np.ndarray,
+        amounts: np.ndarray,
+        pool: PendingChunkPool,
+        slot: int,
+        recorder,
+        slot_trace: Optional[SlotTrace],
+    ) -> None:
+        """The masked scatter-subtract plus the ordered scalar replay."""
+        remaining = self._remaining
+        new_remaining = remaining[rows] - amounts
+        completed = new_remaining <= _WORK_EPSILON
+        remaining[rows] = np.where(completed, 0.0, new_remaining)
+        # contribution = (amount · size) · weight · (delivery − arrival),
+        # associated exactly like the reference expression; the int64 slot
+        # delta converts to float64 exactly (values are far below 2**53).
+        delta = (slot + 1 + self._tail[rows]) - self._arrival[rows]
+        contributions = (amounts * self._size[rows]) * self._pweight[rows] * delta
+
+        chunks = self._chunks
+        rows_list = rows.tolist()
+        amounts_list = amounts.tolist()
+        new_remaining_list = new_remaining.tolist()
+        completed_list = completed.tolist()
+        contributions_list = contributions.tolist()
+        for i, row in enumerate(rows_list):
+            chunk = chunks[row]
+            amount = amounts_list[i]
+            done = completed_list[i]
+            pool.debit_work(amount)
+            if done:
+                chunk.remaining_work = 0.0
+                chunk.completed_slot = slot
+                chunk.delivery_time = slot + 1 + chunk.tail_delay
+                pool.remove(chunk)
+                self._release(chunk, row)
+            else:
+                chunk.remaining_work = new_remaining_list[i]
+            packet = chunk.packet
+            recorder.add_latency(packet, contributions_list[i])
+            if done:
+                recorder.on_chunk_completed(chunk)
+            if slot_trace is not None:
+                slot_trace.transmissions.append(
+                    TransmissionEvent(
+                        packet_id=packet.packet_id,
+                        chunk_index=chunk.index,
+                        edge=chunk.edge,
+                        amount=amount,
+                        completed=done,
+                    )
+                )
+
+    def _transmit_scalar(
+        self,
+        matching: Sequence[Chunk],
+        pool: PendingChunkPool,
+        slot: int,
+        speed: float,
+        recorder,
+        slot_trace: Optional[SlotTrace],
+    ) -> None:
+        """Small-batch path: the reference loop minus the queue snapshot."""
+        for head in matching:
+            budget = speed
+            amount = min(budget, head.remaining_work)
+            if amount > 0:
+                budget = self._transmit_one(
+                    head, amount, budget, pool, slot, recorder, slot_trace
+                )
+            if budget <= _WORK_EPSILON:
+                continue
+            # Leftover budget spills into the edge's eligible queue; copy it
+            # because completions mutate the underlying list mid-walk (the
+            # head's own completion cannot change the others' order).
+            for chunk in list(pool.edge_queue(*head.edge)):
+                if chunk is head or chunk.eligible_time > slot:
+                    continue
+                if budget <= _WORK_EPSILON:
+                    break
+                amount = min(budget, chunk.remaining_work)
+                if amount <= 0:
+                    continue
+                budget = self._transmit_one(
+                    chunk, amount, budget, pool, slot, recorder, slot_trace
+                )
+
+    def _transmit_one(
+        self,
+        chunk: Chunk,
+        amount: float,
+        budget: float,
+        pool: PendingChunkPool,
+        slot: int,
+        recorder,
+        slot_trace: Optional[SlotTrace],
+    ) -> float:
+        """One chunk's transmission, bit-identical to the reference body."""
+        budget -= amount
+        chunk.remaining_work -= amount
+        pool.debit_work(amount)
+        completed = chunk.remaining_work <= _WORK_EPSILON
+        row = self._row_of[chunk]
+        if completed:
+            chunk.remaining_work = 0.0
+            chunk.completed_slot = slot
+            chunk.delivery_time = slot + 1 + chunk.tail_delay
+            pool.remove(chunk)
+            self._release(chunk, row)
+        else:
+            self._remaining[row] = chunk.remaining_work
+        packet = chunk.packet
+        fraction = amount * chunk.size
+        delivery_time = slot + 1 + chunk.tail_delay
+        recorder.add_latency(
+            packet, fraction * packet.weight * (delivery_time - packet.arrival)
+        )
+        if completed:
+            recorder.on_chunk_completed(chunk)
+        if slot_trace is not None:
+            slot_trace.transmissions.append(
+                TransmissionEvent(
+                    packet_id=packet.packet_id,
+                    chunk_index=chunk.index,
+                    edge=chunk.edge,
+                    amount=amount,
+                    completed=completed,
+                )
+            )
+        return budget

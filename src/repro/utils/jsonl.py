@@ -24,7 +24,7 @@ def iter_json_lines(
     Malformed lines raise ``error_cls`` with the path and line number.
     """
     path = Path(path)
-    with path.open("r") as handle:
+    with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             if not line.strip():
                 continue

@@ -18,7 +18,12 @@ the competitive bound has to absorb:
 * :func:`heavy_tailed_incast_workload` fires repeated incast waves whose
   weights follow a Pareto law, mixing rare very heavy packets into synchronised
   receiver contention — the regime where weight-ordered scheduling matters
-  most.
+  most;
+* :func:`saturated_pairs_workload` hammers a few *node-disjoint*
+  (source, destination) pairs, so the matching serves every hot edge each
+  slot while each edge's pending queue grows linearly in the backlog — the
+  deepest per-edge queues a stable matching will ever walk, and the cell
+  behind benchmark E17.
 
 Every generator exists as a lazy ``iter_*`` form (O(1) memory in the packet
 count, arrival slots non-decreasing) plus a thin materialising list wrapper,
@@ -44,9 +49,11 @@ __all__ = [
     "priority_inversion_workload",
     "contention_hotspot_workload",
     "heavy_tailed_incast_workload",
+    "saturated_pairs_workload",
     "iter_priority_inversion_workload",
     "iter_contention_hotspot_workload",
     "iter_heavy_tailed_incast_workload",
+    "iter_saturated_pairs_workload",
 ]
 
 
@@ -210,6 +217,93 @@ def contention_hotspot_workload(
             topology,
             num_packets,
             side=side,
+            hot_fraction=hot_fraction,
+            arrival_rate=arrival_rate,
+            weight_sampler=weight_sampler,
+            seed=seed,
+        )
+    )
+
+
+def iter_saturated_pairs_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    num_pairs: int = 8,
+    hot_fraction: float = 0.95,
+    arrival_rate: float = 3.0,
+    weight_sampler: Optional[WeightSampler] = None,
+    seed: RngLike = None,
+) -> Iterator[Packet]:
+    """Lazily yield a stream saturating a few node-disjoint edges.
+
+    :func:`contention_hotspot_workload` saturates one *node*, so its backlog
+    spreads thinly across every peer edge.  Here the hot set is
+    ``num_pairs`` node-disjoint (source, destination) *pairs* (a greedy
+    scan over the lexicographically sorted routable pairs, so the choice is
+    deterministic for a fixed topology): a stable matching can serve every
+    hot edge in every slot, yet each served edge still carries a pending
+    queue that grows linearly in the backlog.  That makes the per-edge
+    charge sets ``H_p(e)`` / ``L_p(e)`` as deep as they can get without
+    inflating the matching itself — the worst case for any per-edge walk in
+    the transmission step, and the cell behind benchmark E17.  The
+    ``1 − hot_fraction`` background share over uniformly random routable
+    pairs keeps the rest of the fabric lightly loaded.
+    """
+    n = check_positive_int(num_packets, "num_packets")
+    k = check_positive_int(num_pairs, "num_pairs")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise WorkloadError(f"hot_fraction must lie in (0, 1], got {hot_fraction}")
+    if not arrival_rate > 0:
+        raise WorkloadError(f"arrival_rate must be positive, got {arrival_rate}")
+    rng = as_rng(seed)
+    sampler = weight_sampler or pareto_weights(1.5)
+    pairs = routable_pairs(topology)
+    if not pairs:
+        raise WorkloadError("topology has no routable pairs")
+
+    hot_pairs: List[Tuple[str, str]] = []
+    used: set = set()
+    for s, d in sorted(pairs):
+        if s in used or d in used:
+            continue
+        hot_pairs.append((s, d))
+        used.update((s, d))
+        if len(hot_pairs) == k:
+            break
+    if len(hot_pairs) < k:
+        raise WorkloadError(
+            f"topology admits only {len(hot_pairs)} node-disjoint routable "
+            f"pairs, needed num_pairs={k}"
+        )
+
+    slots = iter_poisson_arrivals(arrival_rate, seed=rng)
+
+    def specs() -> Iterator[PacketSpec]:
+        for arrival in islice(slots, n):
+            if rng.random() < hot_fraction:
+                s, d = hot_pairs[int(rng.integers(len(hot_pairs)))]
+            else:
+                s, d = pairs[int(rng.integers(len(pairs)))]
+            yield PacketSpec(source=s, destination=d, weight=sampler(rng), arrival=arrival)
+
+    return stream_packets(specs())
+
+
+def saturated_pairs_workload(
+    topology: TwoTierTopology,
+    num_packets: int,
+    num_pairs: int = 8,
+    hot_fraction: float = 0.95,
+    arrival_rate: float = 3.0,
+    weight_sampler: Optional[WeightSampler] = None,
+    seed: RngLike = None,
+) -> List[Packet]:
+    """Materialised form of :func:`iter_saturated_pairs_workload`."""
+    return list(
+        iter_saturated_pairs_workload(
+            topology,
+            num_packets,
+            num_pairs=num_pairs,
             hot_fraction=hot_fraction,
             arrival_rate=arrival_rate,
             weight_sampler=weight_sampler,

@@ -46,7 +46,7 @@ TRACE_FIELDS = ("packet_id", "source", "destination", "weight", "arrival")
 def write_packet_trace(packets: Sequence[Packet], path: Union[str, Path]) -> Path:
     """Write ``packets`` to ``path`` in CSV trace format and return the path."""
     path = Path(path)
-    with path.open("w", newline="") as handle:
+    with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(TRACE_FIELDS)
         for p in sorted(packets, key=lambda pkt: pkt.packet_id):
@@ -71,7 +71,7 @@ def read_packet_trace(path: Union[str, Path]) -> List[Packet]:
     """Read a CSV packet trace previously written by :func:`write_packet_trace`."""
     path = Path(path)
     packets: List[Packet] = []
-    with path.open("r", newline="") as handle:
+    with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or tuple(reader.fieldnames) != TRACE_FIELDS:
             raise WorkloadError(
@@ -107,7 +107,7 @@ def iter_packet_trace(path: Union[str, Path]) -> Iterator[Packet]:
     aggregate-retention path.
     """
     path = Path(path)
-    with path.open("r", newline="") as handle:
+    with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or tuple(reader.fieldnames) != TRACE_FIELDS:
             raise WorkloadError(
@@ -132,7 +132,7 @@ def write_packet_trace_jsonl(packets: Iterable[Packet], path: Union[str, Path]) 
     materialising the sequence.
     """
     path = Path(path)
-    with path.open("w") as handle:
+    with path.open("w", encoding="utf-8") as handle:
         for p in packets:
             json.dump(
                 {

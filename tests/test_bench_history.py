@@ -1,0 +1,67 @@
+"""Tests for the benchmark-history migration in scripts/bench_dispatch.py."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_dispatch.py"
+_spec = importlib.util.spec_from_file_location("bench_dispatch", _SCRIPT)
+bench_dispatch = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_dispatch)
+
+
+class TestLoadHistory:
+    def test_missing_file_starts_empty(self, tmp_path):
+        assert bench_dispatch.load_history(tmp_path / "absent.json") == []
+
+    def test_current_history_shape_passes_through(self, tmp_path):
+        points = [{"recorded_at": "2026-01-01T00:00:00+00:00"}, {"recorded_at": "b"}]
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps({"benchmark": "dispatch-hot-path", "history": points}),
+            encoding="utf-8",
+        )
+        assert bench_dispatch.load_history(path) == points
+
+    def test_legacy_single_point_is_migrated(self, tmp_path):
+        # A pre-history file is one benchmark point at the top level; it must
+        # become the first history entry (minus the document-level tag), not
+        # crash or get overwritten.
+        legacy = {
+            "benchmark": "dispatch-hot-path",
+            "recorded_at": "2025-12-31T00:00:00+00:00",
+            "single_run": {"speedup": 3.1},
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(legacy), encoding="utf-8")
+        history = bench_dispatch.load_history(path)
+        assert history == [
+            {
+                "recorded_at": "2025-12-31T00:00:00+00:00",
+                "single_run": {"speedup": 3.1},
+            }
+        ]
+        # Migration must not mutate the file itself (only a bench run writes).
+        assert json.loads(path.read_text(encoding="utf-8")) == legacy
+
+    def test_corrupt_json_raises_instead_of_overwriting(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            bench_dispatch.load_history(path)
+
+    def test_non_dict_document_raises(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError, match="top-level list"):
+            bench_dispatch.load_history(path)
+
+    def test_non_list_history_raises(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"history": {"oops": 1}}), encoding="utf-8")
+        with pytest.raises(ValueError, match="non-list 'history'"):
+            bench_dispatch.load_history(path)

@@ -213,6 +213,49 @@ class TestEligibilityPartition:
         pool.remove(young_prompt)
         assert list(pool.iter_eligible_fifo(6)) == [old_delayed, newest]
 
+    def test_non_monotone_query_leaves_watermark_and_heap_consistent(self):
+        # An out-of-order (earlier) query must neither regress the watermark
+        # nor promote future buckets early; the partition keeps answering
+        # exactly before, during and after the non-monotone excursion.
+        pool = PendingChunkPool()
+        prompt = delayed_chunk(0, 1.0)
+        mid = delayed_chunk(1, 2.0, edge=("t2", "r2"), head_delay=4)  # eligible at 5
+        late = delayed_chunk(2, 3.0, edge=("t3", "r3"), head_delay=8)  # eligible at 9
+        pool.add_all([prompt, mid, late])
+        assert set(pool.eligible_chunks(7)) == {prompt, mid}  # watermark -> 7
+        # Earlier queries filter; nothing moves.
+        assert pool.eligible_chunks(3) == [prompt]
+        assert not pool.has_eligible(0)
+        assert pool.eligible_through == 7
+        assert pool.next_activation_time() == 9
+        # Resuming the monotone walk still promotes the last bucket exactly.
+        assert set(pool.eligible_chunks(9)) == {prompt, mid, late}
+        assert pool.next_activation_time() is None
+
+    def test_non_monotone_query_after_future_removal_skips_stale_heap_entry(self):
+        pool = PendingChunkPool()
+        doomed = delayed_chunk(0, 1.0, head_delay=2)  # eligible at 3
+        keeper = delayed_chunk(1, 1.0, edge=("t2", "r2"), head_delay=6)  # at 7
+        pool.add_all([doomed, keeper])
+        pool.advance_eligibility(1)
+        pool.remove(doomed)  # bucket at 3 empties; heap entry goes stale
+        # A non-monotone query right after the removal must not resurrect
+        # (or trip over) the stale activation time.
+        assert pool.eligible_chunks(0) == []
+        assert pool.next_activation_time() == 7
+        assert pool.has_eligible(7)
+        assert list(pool.iter_eligible(7)) == [keeper]
+
+    def test_late_add_below_watermark_is_immediately_eligible(self):
+        pool = PendingChunkPool()
+        pool.advance_eligibility(10)
+        straggler = delayed_chunk(0, 1.0, arrival=1, head_delay=3)  # eligible at 4
+        pool.add(straggler)
+        assert pool.eligible_chunks(10) == [straggler]
+        # ... but a query before its own eligible_time still excludes it.
+        assert pool.eligible_chunks(2) == []
+        assert pool.next_activation_time() is None
+
     def test_clear_resets_partition(self):
         pool = PendingChunkPool()
         pool.add(delayed_chunk(0, 1.0, head_delay=4))

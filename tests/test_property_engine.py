@@ -134,3 +134,32 @@ class TestEngineInvariants:
         for policy in (make_fifo_policy(), make_maxweight_policy()):
             result = simulate(instance.topology, policy, instance.packets)
             assert result.all_delivered
+
+    @given(
+        random_instances(),
+        st.sampled_from([1.0, 1.3, 1.7, 2.0]),
+        st.sampled_from([0, 2, 1 << 30]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_engine_backends_bit_identical(self, instance, speed, min_batch):
+        # The vectorized backend (at every scalar/numpy crossover setting,
+        # including fractional-speed spill walks) must replay the indexed and
+        # reference engines bit-for-bit on arbitrary random instances.
+        from repro.simulation import vector_backend
+
+        original = vector_backend._VECTOR_MIN_BATCH
+        vector_backend._VECTOR_MIN_BATCH = min_batch
+        try:
+            summaries = {
+                engine: simulate(
+                    instance.topology,
+                    OpportunisticLinkScheduler(),
+                    instance.packets,
+                    speed=speed,
+                    engine=engine,
+                ).summary()
+                for engine in ("indexed", "reference", "vectorized")
+            }
+        finally:
+            vector_backend._VECTOR_MIN_BATCH = original
+        assert summaries["vectorized"] == summaries["indexed"] == summaries["reference"]

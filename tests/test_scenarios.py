@@ -32,7 +32,9 @@ from repro.workloads import (
     iter_contention_hotspot_workload,
     iter_heavy_tailed_incast_workload,
     iter_priority_inversion_workload,
+    iter_saturated_pairs_workload,
     priority_inversion_workload,
+    saturated_pairs_workload,
     uniform_random_workload,
     write_packet_trace,
     write_packet_trace_jsonl,
@@ -301,6 +303,27 @@ class TestAdversarialGenerators:
             f"hotspot on {side} side did not concentrate traffic: {counts}"
         )
 
+    def test_saturated_pairs_concentrates_on_disjoint_pairs(self, fabric):
+        packets = saturated_pairs_workload(
+            fabric, 80, num_pairs=2, hot_fraction=0.9, seed=7
+        )
+        lazy = list(
+            iter_saturated_pairs_workload(
+                fabric, 80, num_pairs=2, hot_fraction=0.9, seed=7
+            )
+        )
+        assert lazy == packets
+        counts: dict = {}
+        for p in packets:
+            pair = (p.source, p.destination)
+            counts[pair] = counts.get(pair, 0) + 1
+        hot = sorted(counts, key=lambda pair: counts[pair], reverse=True)[:2]
+        assert sum(counts[pair] for pair in hot) >= 0.7 * len(packets), (
+            f"saturated pairs did not concentrate traffic: {counts}"
+        )
+        # The hot pairs share no endpoint, so one matching serves them all.
+        assert len({node for pair in hot for node in pair}) == 4
+
     def test_heavy_tailed_incast_targets_one_destination(self, fabric):
         packets = heavy_tailed_incast_workload(
             fabric, 4, senders_per_wave=3, packets_per_sender=2, seed=9
@@ -318,6 +341,10 @@ class TestAdversarialGenerators:
             contention_hotspot_workload(fabric, 10, hot_fraction=0.0)
         with pytest.raises(Exception, match="pareto_exponent"):
             heavy_tailed_incast_workload(fabric, 2, pareto_exponent=1.0)
+        with pytest.raises(Exception, match="node-disjoint"):
+            saturated_pairs_workload(fabric, 10, num_pairs=64)
+        with pytest.raises(Exception, match="hot_fraction"):
+            saturated_pairs_workload(fabric, 10, num_pairs=2, hot_fraction=0.0)
 
 
 # ---------------------------------------------------------------------- #

@@ -169,6 +169,38 @@ class TestCheckpointResume:
         assert recovered.hall_of_fame == full.hall_of_fame
         assert recovered.best_history == full.best_history
 
+    def test_failing_objective_leaves_resumable_checkpoint(
+        self, small_run, tmp_path, monkeypatch
+    ):
+        """An objective crashing mid-search must not corrupt the checkpoint.
+
+        The checkpoint handle lives in a context manager, so the crash still
+        closes it; every generation written before the failure stays on disk
+        as complete JSONL lines, and a plain resume finishes the search
+        bit-identically to a run that never crashed.
+        """
+        checkpoint = tmp_path / "ck.jsonl"
+        real_evaluate = AdversarialSearch._evaluate
+
+        def explode(self, generation, population, scores, names):
+            if generation >= 1:
+                raise RuntimeError("objective crashed mid-search")
+            return real_evaluate(self, generation, population, scores, names)
+
+        monkeypatch.setattr(AdversarialSearch, "_evaluate", explode)
+        with pytest.raises(RuntimeError, match="objective crashed"):
+            AdversarialSearch(
+                adversarial_space(), EmpiricalRatioObjective(), SMALL
+            ).run(checkpoint_path=checkpoint)
+        monkeypatch.undo()
+
+        state = read_checkpoint(checkpoint)
+        assert [g["generation"] for g in state["generations"]] == [0]
+        _search, recovered = resume_search(checkpoint)
+        assert recovered.generations_run == SMALL.generations
+        assert recovered.hall_of_fame == small_run.hall_of_fame
+        assert recovered.best_history == small_run.best_history
+
     def test_invalid_jobs_rejected_at_config_time(self):
         with pytest.raises(SearchError, match="jobs"):
             SearchConfig(jobs=0)

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
 from repro.core import Packet
@@ -15,8 +20,10 @@ from repro.workloads import (
     figure2_packets_pi_prime,
     figure2_reported_impacts,
     read_packet_trace,
+    read_packet_trace_jsonl,
     uniform_random_workload,
     write_packet_trace,
+    write_packet_trace_jsonl,
 )
 from repro.network import projector_fabric
 
@@ -33,6 +40,69 @@ class TestTraceIO:
         packets = [Packet(0, "a", "b", weight=0.12345678901234, arrival=1)]
         loaded = read_packet_trace(write_packet_trace(packets, tmp_path / "t.csv"))
         assert loaded[0].weight == packets[0].weight
+
+    def test_non_ascii_node_names_roundtrip(self, tmp_path):
+        packets = [
+            Packet(0, "källa-1", "mål-π", weight=1.5, arrival=1),
+            Packet(1, "källa-1", "mål-π", weight=2.0, arrival=2),
+        ]
+        loaded = read_packet_trace(write_packet_trace(packets, tmp_path / "t.csv"))
+        assert loaded == packets
+        loaded_jsonl = read_packet_trace_jsonl(
+            write_packet_trace_jsonl(packets, tmp_path / "t.jsonl")
+        )
+        assert loaded_jsonl == packets
+
+    def test_non_ascii_roundtrip_is_locale_independent(self, tmp_path):
+        # Traces written on one machine must parse on another machine's
+        # locale.  Force the POSIX C locale (whose default text encoding is
+        # ASCII) in a subprocess: without the explicit encoding="utf-8" on
+        # every text-mode open, writing or reading these node names raises
+        # UnicodeEncodeError/UnicodeDecodeError.
+        script = textwrap.dedent(
+            """
+            from repro.core import Packet
+            from repro.workloads import (
+                read_packet_trace,
+                read_packet_trace_jsonl,
+                write_packet_trace,
+                write_packet_trace_jsonl,
+            )
+
+            packets = [Packet(0, "källa-1", "mål-π", weight=1.5, arrival=1)]
+            assert read_packet_trace(write_packet_trace(packets, "t.csv")) == packets
+            assert (
+                read_packet_trace_jsonl(write_packet_trace_jsonl(packets, "t.jsonl"))
+                == packets
+            )
+            print("roundtrip-ok")
+            """
+        )
+        # The script goes through a file, not ``-c``: the C locale cannot
+        # even pass non-ASCII argv through, while Python source files are
+        # always decoded as UTF-8.
+        script_path = tmp_path / "roundtrip_script.py"
+        script_path.write_text(script, encoding="utf-8")
+        env = dict(os.environ)
+        env.update(
+            {
+                "LC_ALL": "C",
+                "LANG": "C",
+                "PYTHONUTF8": "0",
+                "PYTHONCOERCECLOCALE": "0",
+                "PYTHONIOENCODING": "utf-8",
+                "PYTHONPATH": os.pathsep.join(sys.path),
+            }
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script_path)],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "roundtrip-ok" in proc.stdout
 
     def test_bad_header_rejected(self, tmp_path):
         path = tmp_path / "bad.csv"
