@@ -34,161 +34,26 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
-import time
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.core import OpportunisticLinkScheduler
-from repro.network import projector_fabric
-from repro.simulation import EngineConfig, SimulationEngine, simulate, timed_policy
-from repro.workloads import uniform_weights
-from repro.workloads.adversarial import (
-    iter_contention_hotspot_workload,
-    iter_saturated_pairs_workload,
+# The history-file rules and timed-run helpers moved to the importable
+# benchmark institution (``repro.bench``, PR 9); this script keeps its CLI
+# and full multi-section payload shape on top of them.  The re-exports stay
+# because external callers (and tests) import them from here by file path.
+from repro.bench import (  # noqa: F401  (re-exported API)
+    NUM_LANES,
+    build_cell,
+    build_saturated_cell,
+    load_history,
+    machine_stamp,
+    time_multi,
+    time_single,
+    time_single_phases,
 )
 
 REPO = Path(__file__).resolve().parent.parent
-NUM_LANES = 4
-
-
-def load_history(path: Path) -> list:
-    """Existing history points of ``path``, migrating the legacy shape.
-
-    Returns ``[]`` when the file does not exist.  A PR-7+ document is a dict
-    with a ``history`` list; a pre-history file is a single benchmark point
-    (a dict without ``history``) and becomes the first entry.  Corrupt JSON
-    or an unrecognised shape raises :class:`ValueError` so the caller can
-    abort instead of silently overwriting the recorded trajectory.
-    """
-    if not path.exists():
-        return []
-    try:
-        existing = json.loads(path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise ValueError(
-            f"{path} is not valid JSON ({exc}); fix or move the file, then re-run"
-        ) from exc
-    if not isinstance(existing, dict):
-        raise ValueError(
-            f"{path} holds a top-level {type(existing).__name__}, expected a "
-            "benchmark document; fix or move the file, then re-run"
-        )
-    if "history" in existing:
-        history = existing["history"]
-        if not isinstance(history, list):
-            raise ValueError(
-                f"{path} has a non-list 'history' "
-                f"({type(history).__name__}); fix or move the file, then re-run"
-            )
-        return history
-    # Pre-history single-point file: keep it as the first entry.
-    legacy = dict(existing)
-    legacy.pop("benchmark", None)
-    return [legacy]
-
-
-def build_cell(num_racks: int, num_packets: int, seed: int, delay: int = 1):
-    """The seeded dense-contention cell shared with benchmarks E15/E16.
-
-    ``delay`` is the uniform reconfigurable-edge delay ``d(e)``: every
-    dispatched packet splits into ``d(e)`` chunks, so raising it densifies
-    the pending pool without adding dispatch work — the scheduler-phase
-    stress knob.
-    """
-    start = time.perf_counter()
-    topology = projector_fabric(
-        num_racks=num_racks,
-        lasers_per_rack=2,
-        photodetectors_per_rack=2,
-        delay=delay,
-        seed=seed,
-    )
-    packets = list(
-        iter_contention_hotspot_workload(
-            topology,
-            num_packets=num_packets,
-            side="receiver",
-            hot_fraction=0.95,
-            arrival_rate=8.0,
-            weight_sampler=uniform_weights(1, 10),
-            seed=seed + 1,
-        )
-    )
-    return topology, packets, time.perf_counter() - start
-
-
-def build_saturated_cell(num_racks: int, num_packets: int, seed: int, delay: int = 1):
-    """The saturated-pairs cell shared with benchmark E17.
-
-    Eight node-disjoint hot edges the matching serves every slot, each with
-    a pending queue hundreds of chunks deep — the worst case for the
-    indexed engine's per-edge queue snapshot, which is what the transmit
-    comparison below is meant to stress.
-    """
-    start = time.perf_counter()
-    topology = projector_fabric(
-        num_racks=num_racks,
-        lasers_per_rack=2,
-        photodetectors_per_rack=2,
-        delay=delay,
-        seed=seed,
-    )
-    packets = list(
-        iter_saturated_pairs_workload(
-            topology,
-            num_packets=num_packets,
-            num_pairs=8,
-            hot_fraction=0.95,
-            arrival_rate=8.0,
-            weight_sampler=uniform_weights(1, 10),
-            seed=seed + 1,
-        )
-    )
-    return topology, packets, time.perf_counter() - start
-
-
-def time_single(topology, packets, engine_mode: str, incremental: bool = True):
-    """One ALG run; returns (seconds, summary)."""
-    start = time.perf_counter()
-    result = simulate(
-        topology,
-        OpportunisticLinkScheduler(incremental_scheduler=incremental),
-        packets,
-        engine=engine_mode,
-        max_slots=10_000_000,
-    )
-    return time.perf_counter() - start, result.summary()
-
-
-def time_single_phases(topology, packets, engine_mode: str, incremental: bool):
-    """One instrumented ALG run; returns (seconds, phase timings, summary)."""
-    policy, timings = timed_policy(
-        OpportunisticLinkScheduler(incremental_scheduler=incremental)
-    )
-    start = time.perf_counter()
-    result = simulate(
-        topology, policy, packets, engine=engine_mode, max_slots=10_000_000
-    )
-    return time.perf_counter() - start, timings, result.summary()
-
-
-def time_multi(topology, packets, engine_mode: str, share: bool):
-    """Four ALG lanes through run_multi; returns (seconds, summaries, memo stats)."""
-    engine = SimulationEngine(
-        topology,
-        config=EngineConfig(
-            engine=engine_mode, share_dispatch=share, max_slots=10_000_000
-        ),
-    )
-    lanes = {f"alg{i}": OpportunisticLinkScheduler() for i in range(NUM_LANES)}
-    start = time.perf_counter()
-    results = engine.run_multi(packets, lanes)
-    elapsed = time.perf_counter() - start
-    summaries = {name: res.summary() for name, res in results.items()}
-    return elapsed, summaries, engine.last_shared_dispatch_stats
 
 
 def main() -> int:
@@ -300,12 +165,7 @@ def main() -> int:
     payload = {
         "benchmark": "dispatch-hot-path",
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": machine_stamp(),
         "cell": {
             "topology": "projector",
             "num_racks": args.racks,

@@ -60,16 +60,22 @@ class WeightStats:
     ``prefix`` caches exact prefix sums of ``ints`` up to the watermark
     ``_valid`` (``len(prefix) == _valid + 1`` always); a mutation at position
     ``p`` truncates the watermark to ``p`` and the next query re-extends it.
+
+    ``counter`` is an optional shared one-element list (owned by the
+    enclosing :class:`ImpactIndex`) incremented once per lazy prefix-sum
+    re-consolidation — the observability hook sits on the rare repair path,
+    never on the bisect-only queries.
     """
 
-    __slots__ = ("ws", "ints", "prefix", "scale", "_valid")
+    __slots__ = ("ws", "ints", "prefix", "scale", "_valid", "_counter")
 
-    def __init__(self) -> None:
+    def __init__(self, counter: list = None) -> None:
         self.ws: list = []
         self.ints: list = []
         self.prefix: list = [0]
         self.scale = 0
         self._valid = 0
+        self._counter = counter
 
     def _exact_int(self, weight: float) -> int:
         """``weight · 2**self.scale`` as an exact integer, widening the scale on demand.
@@ -127,6 +133,8 @@ class WeightStats:
             next(tail)  # skip the already-cached watermark entry
             self.prefix.extend(tail)
             self._valid = pos
+            if self._counter is not None:
+                self._counter[0] += 1
         return len(self.ws) - pos, pos, self.prefix[pos]
 
 
@@ -141,27 +149,36 @@ class ImpactIndex:
     work, so work debits need no index maintenance at all.
     """
 
-    __slots__ = ("_tx", "_rx", "_edge")
+    __slots__ = ("_tx", "_rx", "_edge", "_consolidations")
 
     def __init__(self) -> None:
         self._tx: Dict[str, WeightStats] = {}
         self._rx: Dict[str, WeightStats] = {}
         self._edge: Dict[Tuple[str, str], WeightStats] = {}
+        # Shared consolidation tally, one cell handed to every WeightStats.
+        self._consolidations = [0]
+
+    @property
+    def consolidations(self) -> int:
+        """Lifetime count of lazy prefix-sum re-consolidations across all keys."""
+        return self._consolidations[0]
 
     def add(self, chunk: "Chunk") -> None:
         """Index a chunk that entered the pool."""
         weight = chunk.weight
         tx = self._tx.get(chunk.transmitter)
         if tx is None:
-            tx = self._tx[chunk.transmitter] = WeightStats()
+            tx = self._tx[chunk.transmitter] = WeightStats(self._consolidations)
         tx.insert(weight)
         rx = self._rx.get(chunk.receiver)
         if rx is None:
-            rx = self._rx[chunk.receiver] = WeightStats()
+            rx = self._rx[chunk.receiver] = WeightStats(self._consolidations)
         rx.insert(weight)
         edge = self._edge.get((chunk.transmitter, chunk.receiver))
         if edge is None:
-            edge = self._edge[(chunk.transmitter, chunk.receiver)] = WeightStats()
+            edge = self._edge[(chunk.transmitter, chunk.receiver)] = WeightStats(
+                self._consolidations
+            )
         edge.insert(weight)
 
     def discard(self, chunk: "Chunk") -> None:

@@ -109,6 +109,8 @@ class MatchingIndex:
         "_eligible",
         "_tasks",
         "_seq",
+        "_tasks_done",
+        "_evictions",
     )
 
     def __init__(self) -> None:
@@ -128,6 +130,9 @@ class MatchingIndex:
         # makes entries unique so kinds/payloads are never compared.
         self._tasks: List[Tuple[_Key, int, int, object]] = []
         self._seq = 0
+        # Lifetime repair-work tallies (always on; one int add per event).
+        self._tasks_done = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------ #
     # events (pushed by the pool)
@@ -191,6 +196,18 @@ class MatchingIndex:
         self._matched.clear()
         self._eligible.clear()
         self._tasks.clear()
+        self._tasks_done = 0
+        self._evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime repair-work counters.
+
+        ``tasks`` is the number of heap tasks drained (evals, scans and scan
+        deferrals) and ``evictions`` the number of matched chunks displaced
+        by higher-priority arrivals — together the size of the repair
+        cascades that replaced full recomputes.
+        """
+        return {"tasks": self._tasks_done, "evictions": self._evictions}
 
     # ------------------------------------------------------------------ #
     # queries
@@ -218,6 +235,7 @@ class MatchingIndex:
         tasks = self._tasks
         while tasks:
             key, _, kind, payload = heappop(tasks)
+            self._tasks_done += 1
             if kind == _EVAL:
                 self._eval(payload)
             elif kind == _SCAN_TX:
@@ -248,15 +266,18 @@ class MatchingIndex:
         if tx_owner is not None and rx_owner is not None and tx_owner[1] is rx_owner[1]:
             # Same-edge owner: both its ports pass straight to ``chunk``.
             self._matched.remove(tx_owner)
+            self._evictions += 1
         else:
             if tx_owner is not None:
                 # Evicted from the shared transmitter; its receiver is freed
                 # and only chunks below the evictee can use it.
                 self._matched.remove(tx_owner)
+                self._evictions += 1
                 del self._rx_owner[tx_owner[1].receiver]
                 self._push(tx_owner[0], _SCAN_RX, (tx_owner[1].receiver, None))
             if rx_owner is not None:
                 self._matched.remove(rx_owner)
+                self._evictions += 1
                 del self._tx_owner[rx_owner[1].transmitter]
                 self._push(rx_owner[0], _SCAN_TX, (rx_owner[1].transmitter, None))
         self._tx_owner[chunk.transmitter] = entry

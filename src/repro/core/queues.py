@@ -328,6 +328,20 @@ class PendingChunkPool:
         """
         return max(self._pending_work, 0.0)
 
+    def occupancy(self) -> Dict[str, float]:
+        """JSON-ready occupancy gauges: chunk counts and pending work.
+
+        Reads maintained state only (the future count walks the activation
+        buckets, O(distinct activation times)), so the snapshot is safe to
+        take from instrumentation at any point of a run.
+        """
+        return {
+            "pending_chunks": self._size,
+            "eligible_chunks": len(self._eligible_set),
+            "future_chunks": sum(len(bucket) for bucket in self._future.values()),
+            "pending_work": self.total_pending_work(),
+        }
+
     def __contains__(self, chunk: Chunk) -> bool:
         return chunk in self._all
 

@@ -20,6 +20,7 @@ __all__ = [
     "ExperimentError",
     "ScenarioError",
     "SearchError",
+    "ObservabilityError",
 ]
 
 
@@ -84,3 +85,7 @@ class ScenarioError(ExperimentError):
 
 class SearchError(ExperimentError):
     """Raised by the adversarial scenario search (bad spaces, objectives or checkpoints)."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the metrics/span layer (conflicting series, bad metric files)."""

@@ -44,6 +44,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
@@ -153,11 +154,17 @@ class RunnerConfig:
     chunksize:
         Number of tasks handed to a worker per dispatch; larger values
         amortise IPC for big grids of cheap tasks.
+    metrics_path:
+        When set, the runner appends one ``{"record": "runner_heartbeat"}``
+        JSONL line per completed task (task index, rows so far, elapsed
+        seconds) to this file, so long sweeps are observable from outside
+        the process.  Heartbeats never change the produced rows.
     """
 
     jobs: int = 1
     start_method: Optional[str] = None
     chunksize: int = 1
+    metrics_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -226,15 +233,46 @@ class ExperimentRunner:
         """
         tasks = spec.tasks()
         call = partial(_execute_task, spec.task_fn)
+        if self.config.metrics_path is None:
+            yield from self._iter_task_rows(tasks, call)
+            return
+        # Heartbeats are written by the parent as each task's rows arrive, so
+        # the stream is ordered and works identically for jobs == 1 and > 1.
+        from repro.obs import MetricsWriter
+
+        started = time.perf_counter()
+        rows_emitted = 0
+        with MetricsWriter(self.config.metrics_path, mode="a") as writer:
+            for task_index, task_rows in enumerate(
+                self._iter_task_outputs(tasks, call)
+            ):
+                rows_emitted += len(task_rows)
+                writer.write(
+                    {
+                        "record": "runner_heartbeat",
+                        "experiment": spec.name,
+                        "task_index": task_index,
+                        "tasks_total": len(tasks),
+                        "rows_emitted": rows_emitted,
+                        "elapsed_s": round(time.perf_counter() - started, 6),
+                    }
+                )
+                yield from task_rows
+
+    def _iter_task_rows(self, tasks, call) -> Iterator[Any]:
+        for task_rows in self._iter_task_outputs(tasks, call):
+            yield from task_rows
+
+    def _iter_task_outputs(self, tasks, call) -> Iterator[List[Any]]:
+        """Yield one completed task's row list at a time, in grid order."""
         if self.config.jobs == 1 or len(tasks) <= 1:
             for task in tasks:
-                yield from call(task)
+                yield call(task)
             return
         context = multiprocessing.get_context(self.config.start_method)
         processes = min(self.config.jobs, len(tasks))
         with context.Pool(processes=processes) as pool:
-            for task_rows in pool.imap(call, tasks, chunksize=self.config.chunksize):
-                yield from task_rows
+            yield from pool.imap(call, tasks, chunksize=self.config.chunksize)
 
 
 def run_experiment(

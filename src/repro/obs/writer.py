@@ -1,0 +1,76 @@
+"""JSONL emission for metric snapshots and progress heartbeats.
+
+:class:`MetricsWriter` follows the repository's streamed-JSONL conventions
+(established by the slot-trace and search-checkpoint writers): utf-8 text
+mode, one ``json.dumps(..., sort_keys=True)`` record per line, flushed
+immediately so a crashing run loses at most the record being written.  The
+reader side reuses :func:`repro.utils.jsonl.iter_json_lines`, so malformed
+files fail with the same positioned error style as every other JSONL format
+here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+from repro.exceptions import ObservabilityError
+from repro.utils.jsonl import iter_json_lines
+
+__all__ = ["MetricsWriter", "iter_metric_records", "read_metric_records"]
+
+
+class MetricsWriter:
+    """Context manager owning a metrics JSONL handle.
+
+    ``mode`` is ``"w"`` (default, one file per run) or ``"a"`` (append, for
+    heartbeat streams that span resumed runs).
+    """
+
+    def __init__(self, path: Union[str, Path], mode: str = "w") -> None:
+        if mode not in ("w", "a"):
+            raise ObservabilityError(f"mode must be 'w' or 'a', got {mode!r}")
+        self._path = Path(path)
+        self._mode = mode
+        self._handle: Optional[IO[str]] = None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __enter__(self) -> "MetricsWriter":
+        self._handle = self._path.open(self._mode, encoding="utf-8")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append ``record`` as one flushed JSON line."""
+        if self._handle is None:
+            raise ObservabilityError(
+                f"metrics writer for {self._path} used outside its context"
+            )
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+
+def iter_metric_records(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Lazily yield the records of a metrics JSONL file."""
+    for _line_number, record in iter_json_lines(path, ObservabilityError):
+        if not isinstance(record, dict):
+            raise ObservabilityError(
+                f"metrics file {path} holds a non-object record: {record!r}"
+            )
+        yield record
+
+
+def read_metric_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Materialise a metrics JSONL file as a list of records."""
+    return list(iter_metric_records(path))

@@ -30,13 +30,15 @@ same keys and continues as if the run had never stopped.
 from __future__ import annotations
 
 import json
+import time
 from contextlib import ExitStack
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import IO, Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import SearchError
 from repro.experiments.runner import ExperimentRunner, ExperimentSpec, ExperimentTask, RunnerConfig
+from repro.obs import MetricsWriter
 from repro.search.objective import (
     Objective,
     ObjectiveResult,
@@ -313,17 +315,31 @@ class AdversarialSearch:
         space: ParamSpace,
         objective: Objective,
         config: Optional[SearchConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.space = space
         self.objective = objective
         self.config = config or SearchConfig()
         self._seeds = SeedSequenceFactory(self.config.seed)
+        # Injectable wall clock, used only for heartbeat evals/s reporting —
+        # never for any search decision (determinism would break otherwise).
+        self._clock = clock
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def run(self, checkpoint_path: Optional[Union[str, Path]] = None) -> SearchResult:
-        """Run the search from scratch (truncating any existing checkpoint)."""
+    def run(
+        self,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+    ) -> SearchResult:
+        """Run the search from scratch (truncating any existing checkpoint).
+
+        ``metrics_path`` streams one ``{"record": "search_heartbeat"}`` JSONL
+        line per generation (best score, archive size, evals/s) so long
+        searches are observable from outside the process; heartbeats never
+        influence the search itself.
+        """
         with ExitStack() as stack:
             checkpoint = None
             if checkpoint_path is not None:
@@ -331,6 +347,9 @@ class AdversarialSearch:
                     _CheckpointWriter(checkpoint_path, "w")
                 )
                 checkpoint.write_record(self._meta_record())
+            metrics = None
+            if metrics_path is not None:
+                metrics = stack.enter_context(MetricsWriter(metrics_path, mode="w"))
             return self._drive(
                 start_generation=0,
                 population=None,
@@ -338,12 +357,14 @@ class AdversarialSearch:
                 hall_of_fame=[],
                 best_history=[],
                 checkpoint=checkpoint,
+                metrics=metrics,
             )
 
     def resume(
         self,
         checkpoint_path: Union[str, Path],
         generations: Optional[int] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
     ) -> SearchResult:
         """Continue a checkpointed run (optionally extending ``generations``).
 
@@ -376,12 +397,18 @@ class AdversarialSearch:
             HallOfFameEntry.from_json(entry) for entry in last["hall_of_fame"]
         ]
         population = [dict(p) for p in last["population"]]
-        with _CheckpointWriter(checkpoint_path, "a") as checkpoint:
+        with ExitStack() as stack:
+            checkpoint = stack.enter_context(_CheckpointWriter(checkpoint_path, "a"))
             if generations is not None:
                 # Persist the extended budget: a later resume (e.g. after this
                 # continuation is interrupted) must see the new target, not the
                 # original one, or it would stop short without a word.
                 checkpoint.write_record(self._meta_record())
+            metrics = None
+            if metrics_path is not None:
+                # Append: the continuation's heartbeats extend the original
+                # run's stream instead of erasing it.
+                metrics = stack.enter_context(MetricsWriter(metrics_path, mode="a"))
             return self._drive(
                 start_generation=int(last["generation"]) + 1,
                 population=population,
@@ -390,6 +417,7 @@ class AdversarialSearch:
                 best_history=best_history,
                 checkpoint=checkpoint,
                 scenario_names=names,
+                metrics=metrics,
             )
 
     # ------------------------------------------------------------------ #
@@ -533,11 +561,14 @@ class AdversarialSearch:
         best_history: List[float],
         checkpoint,
         scenario_names: Optional[Dict[str, str]] = None,
+        metrics: Optional[MetricsWriter] = None,
     ) -> SearchResult:
         cfg = self.config
         names: Dict[str, str] = scenario_names or {}
         stopped_early = False
         generation = start_generation - 1
+        started = self._clock()
+        evals_this_run = 0
         if start_generation > 0 and population is not None:
             # Resuming: the checkpointed population was already evaluated;
             # breed the next generation from it before continuing the loop.
@@ -565,6 +596,22 @@ class AdversarialSearch:
                         "best_score": best,
                     }
                 )
+            if metrics is not None:
+                evals_this_run += len(new_rows)
+                elapsed = self._clock() - started
+                metrics.write(
+                    {
+                        "record": "search_heartbeat",
+                        "generation": generation,
+                        "best_score": best,
+                        "archive_size": len(hall_of_fame),
+                        "new_evaluations": len(new_rows),
+                        "evaluations_total": len(scores),
+                        "evals_per_s": round(evals_this_run / elapsed, 6)
+                        if elapsed > 0
+                        else 0.0,
+                    }
+                )
             if (
                 cfg.stagnation_limit > 0
                 and len(best_history) > cfg.stagnation_limit
@@ -588,6 +635,7 @@ def resume_search(
     checkpoint_path: Union[str, Path],
     generations: Optional[int] = None,
     jobs: Optional[int] = None,
+    metrics_path: Optional[Union[str, Path]] = None,
 ) -> Tuple[AdversarialSearch, SearchResult]:
     """Reconstruct a search from its checkpoint metadata and continue it.
 
@@ -605,4 +653,6 @@ def resume_search(
         objective=objective_from_json(meta["objective"]),
         config=config,
     )
-    return search, search.resume(checkpoint_path, generations=generations)
+    return search, search.resume(
+        checkpoint_path, generations=generations, metrics_path=metrics_path
+    )

@@ -47,6 +47,7 @@ from repro.core.packet import Chunk, EdgeAssignment, FixedLinkAssignment, Packet
 from repro.core.queues import PendingChunkPool
 from repro.exceptions import SchedulingError, SimulationError
 from repro.network.topology import TwoTierTopology
+from repro.obs import NULL_REGISTRY, MetricsRegistry, MetricsWriter, SpanTimer
 from repro.simulation.accumulators import OnlineSummary
 from repro.simulation.results import RETENTION_MODES, PacketRecord, SimulationResult
 from repro.simulation.trace import (
@@ -70,6 +71,11 @@ __all__ = ["ENGINE_MODES", "EngineConfig", "SimulationEngine", "simulate", "simu
 #: and replays the full greedy matching pass (the historical loops kept for
 #: differential testing).  All three produce bit-identical results.
 ENGINE_MODES = ("indexed", "reference", "vectorized")
+
+#: Bucket upper bounds of the per-slot ``engine_matching_size`` histogram:
+#: powers of two from 1 to 1024 edges (matchings are bounded by the rack
+#: count, so the range covers every topology in this repository).
+_MATCHING_SIZE_BUCKETS = tuple(float(2 ** k) for k in range(11))
 
 
 @dataclass(frozen=True)
@@ -146,6 +152,26 @@ class EngineConfig:
         Debug flag: re-derive every shared-dispatch memo hit from the
         hitting lane's own pool and fail loudly on any mismatch (the
         cross-lane invariant check; costs the sharing speedup).
+    obs:
+        A :class:`~repro.obs.MetricsRegistry` to record run metrics into
+        (packets arrived/delivered, chunks matched per slot, memo hits,
+        index repair counts, pool occupancy peaks, …).  ``None`` (default)
+        means observability off: the engine uses the shared no-op registry
+        and the hot paths skip every instrumentation block behind a single
+        boolean.  Instruments only record — enabling observability never
+        changes simulation results.
+    metrics_path:
+        When set, the final registry snapshot is written to this JSONL file
+        at the end of each ``run()`` / ``run_multi()`` call (one
+        ``{"record": "metrics_snapshot", ...}`` line).  Setting
+        ``metrics_path`` without ``obs`` enables a private registry for the
+        engine.
+    span_stride:
+        Sampling stride for per-slot phase spans: every ``span_stride``-th
+        simulated slot has its dispatch/scheduler/transmit phases wall-clock
+        timed into per-policy ``engine_phase_seconds`` gauges (1 = every
+        slot).  0 (default) disables span sampling.  Only active when a
+        metrics registry is enabled.
     """
 
     speed: float = 1.0
@@ -158,12 +184,17 @@ class EngineConfig:
     engine: str = "indexed"
     share_dispatch: bool = True
     validate_shared_dispatch: bool = False
+    obs: Optional[MetricsRegistry] = None
+    metrics_path: Optional[str] = None
+    span_stride: int = 0
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
             raise ValueError(f"speed must be positive, got {self.speed}")
         if self.max_slots < 1:
             raise ValueError(f"max_slots must be >= 1, got {self.max_slots}")
+        if self.span_stride < 0:
+            raise ValueError(f"span_stride must be >= 0, got {self.span_stride}")
         if self.retention not in RETENTION_MODES:
             raise ValueError(
                 f"retention must be one of {RETENTION_MODES}, got {self.retention!r}"
@@ -380,6 +411,10 @@ class _FullRecorder:
     def note_matchings(self, count: int, total: int, largest: int, nonempty: int) -> None:
         pass  # matching_sizes list is appended by the engine loop itself
 
+    def in_flight_packets(self) -> int:
+        """Packets dispatched to an edge but not yet fully delivered."""
+        return sum(1 for remaining in self._undelivered.values() if remaining > 0)
+
 
 class _AggregateRecorder:
     """Streams per-packet outcomes into an :class:`OnlineSummary`.
@@ -439,6 +474,10 @@ class _AggregateRecorder:
     def note_matchings(self, count: int, total: int, largest: int, nonempty: int) -> None:
         self.summary.add_matchings(count, total, largest, nonempty)
 
+    def in_flight_packets(self) -> int:
+        """Packets dispatched to an edge but not yet fully delivered."""
+        return len(self._active)
+
 
 _Recorder = Union[_FullRecorder, _AggregateRecorder]
 
@@ -470,6 +509,18 @@ class _PolicyLane:
         "_aggregate",
         "_want_events",
         "_timings",
+        "_obs_on",
+        "_stride",
+        "_spans",
+        "_hist_matching",
+        "_m_arrived",
+        "_m_fixed",
+        "_m_chunks_dispatched",
+        "_m_chunks_matched",
+        "_m_chunks_completed",
+        "_m_skipped",
+        "_m_peak_chunks",
+        "_m_peak_work",
     )
 
     def __init__(
@@ -501,12 +552,38 @@ class _PolicyLane:
         self.backend = (
             VectorTransmitBackend() if engine.config.engine == "vectorized" else None
         )
-        # Profiled policies (see repro.simulation.timed_policy) carry their
-        # PhaseTimings; the engine times the transmit phase for them.
-        self._timings = getattr(policy, "phase_timings", None)
+        # Profiled policies (see repro.simulation.timed_policy) declare their
+        # PhaseTimings on the Policy field; the engine times the transmit
+        # phase for them.
+        self._timings = policy.phase_timings
         self._slots_simulated = 0
         self._aggregate = engine.config.retention == "aggregate"
         self._want_events = engine.config.record_trace or writer is not None
+        # Observability: plain-int lane counters folded into the engine's
+        # registry by publish_metrics() at run end.  With the registry
+        # disabled every hot-path instrumentation block sits behind the one
+        # _obs_on boolean, so disabled runs allocate and record nothing.
+        metrics = engine.metrics
+        self._obs_on = metrics.enabled
+        self._stride = engine.config.span_stride
+        self._spans = SpanTimer() if (self._obs_on and self._stride > 0) else None
+        self._hist_matching = (
+            metrics.histogram(
+                "engine_matching_size",
+                buckets=_MATCHING_SIZE_BUCKETS,
+                policy=policy.name,
+            )
+            if self._obs_on
+            else None
+        )
+        self._m_arrived = 0
+        self._m_fixed = 0
+        self._m_chunks_dispatched = 0
+        self._m_chunks_matched = 0
+        self._m_chunks_completed = 0
+        self._m_skipped = 0
+        self._m_peak_chunks = 0
+        self._m_peak_work = 0.0
         self.slot = arrivals.next_slot()
         if self.slot is not None:
             result.first_slot = self.slot
@@ -535,15 +612,39 @@ class _PolicyLane:
         self._slots_simulated += 1
         self._budget_check()
         slot_trace = SlotTrace(slot=slot) if self._want_events else None
+        obs_on = self._obs_on
+        spans = self._spans
+        # Sample the phase spans of every _stride-th simulated slot.
+        sampled = spans is not None and (self._slots_simulated - 1) % self._stride == 0
+        phase_start = time.perf_counter() if sampled else 0.0
 
         # 1. Pull and dispatch this slot's arrival batch, in input order.
         for packet in self.arrivals.pop(slot):
-            engine._dispatch_packet(
+            assignment = engine._dispatch_packet(
                 self.policy, packet, pool, slot, self.recorder, slot_trace, self.backend
             )
+            if obs_on:
+                self._m_arrived += 1
+                if assignment.uses_fixed_link:
+                    self._m_fixed += 1
+                else:
+                    self._m_chunks_dispatched += len(assignment.chunks)
+        if obs_on:
+            occupancy = len(pool)
+            if occupancy > self._m_peak_chunks:
+                self._m_peak_chunks = occupancy
+            pending_work = pool.total_pending_work()
+            if pending_work > self._m_peak_work:
+                self._m_peak_work = pending_work
+        if sampled:
+            now = time.perf_counter()
+            spans.add("dispatch", now - phase_start)
+            phase_start = now
 
         # 2. Ask the scheduler for this slot's matching and transmit it.
         matching = self.policy.scheduler.select_matching(pool, engine.topology, slot)
+        if sampled:
+            spans.add("scheduler", time.perf_counter() - phase_start)
         if config.validate_matchings:
             engine._validate_matching(matching, pool, slot)
         size = len(matching)
@@ -553,9 +654,14 @@ class _PolicyLane:
             result.matching_sizes.append(size)
         if slot_trace is not None:
             slot_trace.matching = [chunk.edge for chunk in matching]
+        if obs_on:
+            self._m_chunks_matched += size
+            self._hist_matching.observe(size)
+            chunks_before = len(pool)
 
         timings = self._timings
-        transmit_start = time.perf_counter() if timings is not None else 0.0
+        time_transmit = timings is not None or sampled
+        transmit_start = time.perf_counter() if time_transmit else 0.0
         if self.backend is not None:
             self.backend.transmit_slot(
                 matching, pool, slot, config.speed, self.recorder, slot_trace
@@ -563,8 +669,14 @@ class _PolicyLane:
         else:
             for chunk in matching:
                 engine._transmit_on_edge(chunk, pool, slot, self.recorder, slot_trace)
-        if timings is not None:
-            timings.transmit_s += time.perf_counter() - transmit_start
+        if time_transmit:
+            elapsed = time.perf_counter() - transmit_start
+            if timings is not None:
+                timings.spans.add("transmit", elapsed)
+            if sampled:
+                spans.add("transmit", elapsed)
+        if obs_on:
+            self._m_chunks_completed += chunks_before - len(pool)
 
         if slot_trace is not None:
             if config.record_trace:
@@ -593,6 +705,8 @@ class _PolicyLane:
         if target is not None and target > slot:
             skipped = target - slot
             self._slots_simulated += skipped
+            if obs_on:
+                self._m_skipped += skipped
             self._budget_check()
             # Keep the per-slot aggregates (and, when tracing, the empty
             # slot traces) identical to the slot-by-slot walk.
@@ -610,6 +724,73 @@ class _PolicyLane:
             result.last_slot = target - 1
             slot = target
         self.slot = slot
+
+    def publish_metrics(self, label: Optional[str] = None) -> None:
+        """Fold this lane's counters into the engine's metrics registry.
+
+        Called once at run end (cold path): lane-local plain ints, subsystem
+        counters and sampled span totals become labeled registry series.
+        ``label`` overrides the series' ``policy`` label — ``run_multi``
+        passes its display names so two lanes wrapping the same underlying
+        policy (same ``policy.name``) keep distinct series.
+        """
+        metrics = self.engine.metrics
+        if not metrics.enabled:
+            return
+        name = self.policy.name if label is None else label
+        metrics.counter("engine_packets_arrived", policy=name).inc(self._m_arrived)
+        metrics.counter("engine_packets_fixed_link", policy=name).inc(self._m_fixed)
+        metrics.counter("engine_packets_delivered", policy=name).inc(
+            self._m_arrived - self.recorder.in_flight_packets()
+        )
+        metrics.counter("engine_chunks_dispatched", policy=name).inc(
+            self._m_chunks_dispatched
+        )
+        metrics.counter("engine_chunks_matched", policy=name).inc(self._m_chunks_matched)
+        metrics.counter("engine_chunks_completed", policy=name).inc(
+            self._m_chunks_completed
+        )
+        metrics.counter("engine_slots_simulated", policy=name).inc(self._slots_simulated)
+        metrics.counter("engine_slots_skipped", policy=name).inc(self._m_skipped)
+        metrics.gauge("engine_pool_peak_chunks", policy=name).set_max(
+            self._m_peak_chunks
+        )
+        metrics.gauge("engine_pool_peak_pending_work", policy=name).set_max(
+            self._m_peak_work
+        )
+        if self._spans is not None:
+            for phase in sorted(self._spans.totals):
+                metrics.gauge("engine_phase_seconds", phase=phase, policy=name).set(
+                    self._spans.total(phase)
+                )
+            metrics.counter("engine_span_sampled_slots", policy=name).inc(
+                self._spans.counts.get("scheduler", 0)
+            )
+        impact_index = self.pool.impact_index
+        if impact_index is not None:
+            metrics.counter("impact_index_consolidations", policy=name).inc(
+                impact_index.consolidations
+            )
+        matching_index = self.pool.matching_index
+        if matching_index is not None:
+            index_stats = matching_index.stats()
+            metrics.counter("matching_index_tasks", policy=name).inc(
+                index_stats["tasks"]
+            )
+            metrics.counter("matching_index_evictions", policy=name).inc(
+                index_stats["evictions"]
+            )
+        if self.backend is not None:
+            backend_stats = self.backend.stats()
+            metrics.counter("vector_fast_path_slots", policy=name).inc(
+                backend_stats["fast_slots"]
+            )
+            metrics.counter("vector_fallback_slots", policy=name).inc(
+                backend_stats["spill_slots"]
+            )
+            metrics.counter("vector_scalar_slots", policy=name).inc(
+                backend_stats["scalar_slots"]
+            )
 
 
 class SimulationEngine:
@@ -650,7 +831,19 @@ class SimulationEngine:
             engine=base.engine if engine is None else engine,
             share_dispatch=base.share_dispatch,
             validate_shared_dispatch=base.validate_shared_dispatch,
+            obs=base.obs,
+            metrics_path=base.metrics_path,
+            span_stride=base.span_stride,
         )
+        #: The metrics registry every lane of this engine records into: the
+        #: configured one, a private one when only ``metrics_path`` is set,
+        #: or the shared no-op singleton when observability is off.
+        if self.config.obs is not None:
+            self.metrics: MetricsRegistry = self.config.obs
+        elif self.config.metrics_path is not None:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = NULL_REGISTRY
         #: Hit/miss statistics of the last :meth:`run_multi` shared-dispatch
         #: groups (one dict per group), for benchmarks and diagnostics.
         self.last_shared_dispatch_stats: List[Dict[str, int]] = []
@@ -682,6 +875,8 @@ class SimulationEngine:
         finally:
             if writer is not None:
                 writer.close()
+        lane.publish_metrics()
+        self._write_metrics()
         return lane.result
 
     def run_multi(
@@ -760,6 +955,17 @@ class SimulationEngine:
                 writer.close()
             for policy in shared_dispatchers:
                 policy.dispatcher.shared_memo = None
+        for name, lane in lanes.items():
+            lane.publish_metrics(label=name)
+        if self.metrics.enabled:
+            for group, stats in enumerate(self.last_shared_dispatch_stats):
+                self.metrics.counter("shared_dispatch_hits", group=group).inc(
+                    stats["hits"]
+                )
+                self.metrics.counter("shared_dispatch_misses", group=group).inc(
+                    stats["misses"]
+                )
+        self._write_metrics()
         return {name: lane.result for name, lane in lanes.items()}
 
     def _attach_shared_dispatch(self, policies: Sequence[Policy]):
@@ -838,6 +1044,16 @@ class SimulationEngine:
         policy.reset()
         return _PolicyLane(self, policy, arrivals, recorder, result, writer)
 
+    def _write_metrics(self) -> None:
+        """Write the registry snapshot to ``metrics_path`` (when configured)."""
+        path = self.config.metrics_path
+        if path is None or not self.metrics.enabled:
+            return
+        with MetricsWriter(path) as writer:
+            writer.write(
+                {"record": "metrics_snapshot", "snapshot": self.metrics.snapshot()}
+            )
+
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
@@ -864,7 +1080,7 @@ class SimulationEngine:
         recorder: _Recorder,
         slot_trace: Optional[SlotTrace],
         backend: Optional[VectorTransmitBackend] = None,
-    ) -> None:
+    ):
         assignment = policy.dispatcher.dispatch(packet, self.topology, pool, slot)
         if isinstance(assignment, EdgeAssignment):
             if not self.topology.has_edge(assignment.transmitter, assignment.receiver):
@@ -890,6 +1106,7 @@ class SimulationEngine:
                     impact=assignment.impact,
                 )
             )
+        return assignment
 
     def _validate_matching(
         self, matching: Sequence[Chunk], pool: PendingChunkPool, slot: int
@@ -974,6 +1191,9 @@ def simulate(
     retention: str = "full",
     trace_path: Optional[str] = None,
     engine: str = "indexed",
+    obs: Optional[MetricsRegistry] = None,
+    metrics_path: Optional[str] = None,
+    span_stride: int = 0,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`.
 
@@ -996,6 +1216,9 @@ def simulate(
             retention=retention,
             trace_path=trace_path,
             engine=engine,
+            obs=obs,
+            metrics_path=metrics_path,
+            span_stride=span_stride,
         ),
     )
     return runner.run(packets)
@@ -1009,6 +1232,9 @@ def simulate_multi(
     max_slots: int = 1_000_000,
     retention: str = "full",
     engine: str = "indexed",
+    obs: Optional[MetricsRegistry] = None,
+    metrics_path: Optional[str] = None,
+    span_stride: int = 0,
 ) -> Dict[str, SimulationResult]:
     """One-call wrapper around :meth:`SimulationEngine.run_multi`.
 
@@ -1036,7 +1262,13 @@ def simulate_multi(
     runner = SimulationEngine(
         topology,
         config=EngineConfig(
-            speed=speed, max_slots=max_slots, retention=retention, engine=engine
+            speed=speed,
+            max_slots=max_slots,
+            retention=retention,
+            engine=engine,
+            obs=obs,
+            metrics_path=metrics_path,
+            span_stride=span_stride,
         ),
     )
     return runner.run_multi(packets, policies)

@@ -8,10 +8,15 @@ benchmarks can split a run's total into
 * ``scheduler`` — time inside ``Scheduler.select_matching`` (per slot),
 * ``transmit`` — time applying the selected matching (budget walk, latency
   accounting, completion bookkeeping); timed by the engine itself, which
-  discovers the timings object through the ``phase_timings`` attribute the
-  proxy policy carries,
+  discovers the timings object through the policy's ``phase_timings`` field,
 * ``bookkeeping`` — everything else (pool maintenance, arrivals, recorders),
   obtained as the remainder against the measured total.
+
+:class:`PhaseTimings` is now a thin, API-compatible adapter over the general
+:class:`~repro.obs.spans.SpanTimer`: the three ``*_s`` attributes read and
+write the ``dispatch``/``scheduler``/``transmit`` span totals of an
+underlying timer, so phase timings show up in span snapshots for free while
+every existing caller (``+=`` mutation included) keeps working unchanged.
 
 The wrappers forward decisions unchanged, so a timed run produces the exact
 results of the untimed one; only the two ``perf_counter`` calls per
@@ -25,28 +30,55 @@ matching index for it.
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.interfaces import Dispatcher, Policy, Scheduler
 from repro.core.packet import Assignment, Chunk, Packet
+from repro.obs.spans import SpanTimer
 
 __all__ = ["PhaseTimings", "timed_policy"]
 
 
 class PhaseTimings:
-    """Accumulated per-phase wall-clock seconds of a timed run."""
+    """Accumulated per-phase wall-clock seconds of a timed run.
 
-    __slots__ = ("dispatch_s", "scheduler_s", "transmit_s")
+    A facade over a :class:`~repro.obs.spans.SpanTimer`: attribute reads and
+    writes go straight to the timer's ``dispatch``/``scheduler``/``transmit``
+    span totals.  Pass an existing timer to share spans with other
+    instrumentation; by default each instance owns a private one.
+    """
 
-    def __init__(self) -> None:
-        self.dispatch_s = 0.0
-        self.scheduler_s = 0.0
-        self.transmit_s = 0.0
+    __slots__ = ("spans",)
+
+    def __init__(self, spans: Optional[SpanTimer] = None) -> None:
+        self.spans = spans if spans is not None else SpanTimer()
+
+    @property
+    def dispatch_s(self) -> float:
+        return self.spans.total("dispatch")
+
+    @dispatch_s.setter
+    def dispatch_s(self, value: float) -> None:
+        self.spans.set_total("dispatch", value)
+
+    @property
+    def scheduler_s(self) -> float:
+        return self.spans.total("scheduler")
+
+    @scheduler_s.setter
+    def scheduler_s(self, value: float) -> None:
+        self.spans.set_total("scheduler", value)
+
+    @property
+    def transmit_s(self) -> float:
+        return self.spans.total("transmit")
+
+    @transmit_s.setter
+    def transmit_s(self, value: float) -> None:
+        self.spans.set_total("transmit", value)
 
     def reset(self) -> None:
-        self.dispatch_s = 0.0
-        self.scheduler_s = 0.0
-        self.transmit_s = 0.0
+        self.spans.reset()
 
     def bookkeeping_s(self, total_s: float) -> float:
         """The remainder of ``total_s`` not spent in any timed phase."""
@@ -67,7 +99,7 @@ class PhaseTimings:
 class _TimedDispatcher(Dispatcher):
     def __init__(self, inner: Dispatcher, timings: PhaseTimings) -> None:
         self._inner = inner
-        self._timings = timings
+        self._spans = timings.spans
         self.name = inner.name
 
     def dispatch(self, packet: Packet, topology, pool, now: int) -> Assignment:
@@ -75,7 +107,7 @@ class _TimedDispatcher(Dispatcher):
         try:
             return self._inner.dispatch(packet, topology, pool, now)
         finally:
-            self._timings.dispatch_s += time.perf_counter() - start
+            self._spans.add("dispatch", time.perf_counter() - start)
 
     def reset(self) -> None:
         self._inner.reset()
@@ -84,7 +116,7 @@ class _TimedDispatcher(Dispatcher):
 class _TimedScheduler(Scheduler):
     def __init__(self, inner: Scheduler, timings: PhaseTimings) -> None:
         self._inner = inner
-        self._timings = timings
+        self._spans = timings.spans
         self.name = inner.name
         self.uses_matching_index = getattr(inner, "uses_matching_index", False)
 
@@ -93,7 +125,7 @@ class _TimedScheduler(Scheduler):
         try:
             return self._inner.select_matching(pool, topology, now)
         finally:
-            self._timings.scheduler_s += time.perf_counter() - start
+            self._spans.add("scheduler", time.perf_counter() - start)
 
     def reset(self) -> None:
         self._inner.reset()
@@ -102,12 +134,12 @@ class _TimedScheduler(Scheduler):
 def timed_policy(policy: Policy) -> Tuple[Policy, PhaseTimings]:
     """Wrap ``policy`` for phase timing; returns the proxy and its timings."""
     timings = PhaseTimings()
+    # The transmit phase has no policy hook to wrap: the engine times its own
+    # transmission block when the policy it runs declares phase_timings.
     proxy = Policy(
         name=policy.name,
         dispatcher=_TimedDispatcher(policy.dispatcher, timings),
         scheduler=_TimedScheduler(policy.scheduler, timings),
+        phase_timings=timings,
     )
-    # The transmit phase has no policy hook to wrap: the engine times its own
-    # transmission block when the policy it runs carries this attribute.
-    proxy.phase_timings = timings
     return proxy, timings

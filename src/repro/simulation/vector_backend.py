@@ -80,6 +80,9 @@ class VectorTransmitBackend:
         "_free",
         "_top",
         "_min_batch",
+        "_fast_slots",
+        "_spill_slots",
+        "_scalar_slots",
     )
 
     def __init__(self, capacity: int = 256, min_batch: Optional[int] = None) -> None:
@@ -94,10 +97,27 @@ class VectorTransmitBackend:
         self._free: List[int] = []
         self._top = 0
         self._min_batch = _VECTOR_MIN_BATCH if min_batch is None else min_batch
+        # Per-path slot tallies (always on; three int adds per slot).
+        self._fast_slots = 0
+        self._spill_slots = 0
+        self._scalar_slots = 0
 
     def __len__(self) -> int:
         """Number of in-flight chunks currently holding a row."""
         return len(self._row_of)
+
+    def stats(self) -> Dict[str, int]:
+        """How many non-empty slots took each transmission path.
+
+        ``fast_slots`` is the pure gather/scatter on head rows,
+        ``spill_slots`` re-gathered with the per-edge budget walk, and
+        ``scalar_slots`` ran the small-batch scalar loop.
+        """
+        return {
+            "fast_slots": self._fast_slots,
+            "spill_slots": self._spill_slots,
+            "scalar_slots": self._scalar_slots,
+        }
 
     # ------------------------------------------------------------------ #
     # row management
@@ -158,6 +178,7 @@ class VectorTransmitBackend:
         if count == 0:
             return
         if count < self._min_batch:
+            self._scalar_slots += 1
             self._transmit_scalar(matching, pool, slot, speed, recorder, slot_trace)
             return
         row_of = self._row_of
@@ -168,11 +189,14 @@ class VectorTransmitBackend:
         if ((speed - amounts) > _WORK_EPSILON).any():
             # Some edge has leftover budget: re-gather with the faithful
             # per-edge spill walk so consumption order matches the reference.
+            self._spill_slots += 1
             rows_list, amounts_list = self._gather_spill(matching, pool, slot, speed)
             head_rows = np.fromiter(rows_list, dtype=np.intp, count=len(rows_list))
             amounts = np.fromiter(
                 amounts_list, dtype=np.float64, count=len(amounts_list)
             )
+        else:
+            self._fast_slots += 1
         self._apply_batch(head_rows, amounts, pool, slot, recorder, slot_trace)
 
     def _gather_spill(

@@ -474,3 +474,49 @@ def test_naive_pool_is_really_naive() -> None:
 
     assert not issubclass(NaiveChunkPool, PendingChunkPool)
     assert not hasattr(NaiveChunkPool, "_by_edge")
+
+
+@pytest.mark.parametrize("scenario,seed", _CELLS, ids=_CELL_IDS)
+def test_observability_never_perturbs_results(
+    scenario: Scenario, seed: int, tmp_path
+) -> None:
+    """Instrumented runs are bit-identical to plain runs, per slot.
+
+    Every differential cell is replayed under every engine backend twice —
+    once plain, once with a live metrics registry, phase-span sampling
+    (stride 2, so both the sampled and unsampled slot paths execute) and a
+    metrics-snapshot file.  Summaries AND full slot traces must be equal:
+    the observability layer only records, it never participates in the
+    arithmetic or the ordering.
+    """
+    from repro.obs import MetricsRegistry
+
+    topology, stream, policies = scenario.materialise(seed)
+    packets = list(stream)
+    for name, policy in policies.items():
+        for engine_mode in ("indexed", "reference", "vectorized"):
+            plain = simulate(
+                topology, policy, packets, speed=scenario.speed,
+                engine=engine_mode, record_trace=True,
+            )
+            registry = MetricsRegistry()
+            observed = simulate(
+                topology, policy, packets, speed=scenario.speed,
+                engine=engine_mode, record_trace=True,
+                obs=registry, span_stride=2,
+                metrics_path=str(tmp_path / f"{name}-{engine_mode}.jsonl"),
+            )
+            assert observed.summary() == plain.summary(), (
+                f"{scenario.name}/{name} [{engine_mode}]: observability "
+                f"changed the summary"
+            )
+            assert observed.trace.slots == plain.trace.slots, (
+                f"{scenario.name}/{name} [{engine_mode}]: observability "
+                f"changed the slot trace"
+            )
+            counters = registry.snapshot()["counters"]
+            arrived = [
+                value for key, value in counters.items()
+                if key.startswith("engine_packets_arrived{")
+            ]
+            assert arrived == [len(packets)]

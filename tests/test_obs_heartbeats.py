@@ -1,0 +1,125 @@
+"""Progress heartbeats: experiment-runner and search-loop JSONL streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentRunner, ExperimentSpec, ExperimentTask, RunnerConfig
+from repro.obs import read_metric_records
+
+
+def _echo_task(task: ExperimentTask) -> dict:
+    return {"index": task.index, "x": task.params["x"]}
+
+
+def _make_spec(n: int = 4) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="echo", task_fn=_echo_task, grid=[{"x": i} for i in range(n)], seed=3
+    )
+
+
+class TestRunnerHeartbeats:
+    def test_one_heartbeat_per_task_in_grid_order(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        runner = ExperimentRunner(RunnerConfig(metrics_path=str(path)))
+        rows = runner.run(_make_spec(4))
+        assert [row["index"] for row in rows] == [0, 1, 2, 3]
+        records = read_metric_records(path)
+        assert len(records) == 4
+        assert [r["task_index"] for r in records] == [0, 1, 2, 3]
+        assert all(r["record"] == "runner_heartbeat" for r in records)
+        assert all(r["experiment"] == "echo" for r in records)
+        assert all(r["tasks_total"] == 4 for r in records)
+        assert records[-1]["rows_emitted"] == 4
+        assert all(r["elapsed_s"] >= 0.0 for r in records)
+
+    def test_parallel_rows_and_heartbeats_match_serial(self, tmp_path):
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        spec = _make_spec(6)
+        serial_rows = ExperimentRunner(
+            RunnerConfig(jobs=1, metrics_path=str(serial_path))
+        ).run(spec)
+        parallel_rows = ExperimentRunner(
+            RunnerConfig(jobs=3, metrics_path=str(parallel_path))
+        ).run(spec)
+        assert serial_rows == parallel_rows
+        strip = lambda recs: [
+            {k: v for k, v in r.items() if k != "elapsed_s"} for r in recs
+        ]
+        assert strip(read_metric_records(serial_path)) == strip(
+            read_metric_records(parallel_path)
+        )
+
+    def test_no_heartbeat_file_without_metrics_path(self, tmp_path):
+        rows = ExperimentRunner(RunnerConfig()).run(_make_spec(2))
+        assert len(rows) == 2
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSearchHeartbeats:
+    @pytest.fixture
+    def smoke_search(self):
+        import dataclasses
+
+        from repro.search import AdversarialSearch, BUDGETS, get_space, objective_from_json
+
+        def make(clock=None, generations=2):
+            config = dataclasses.replace(
+                BUDGETS["smoke"], generations=generations, seed=5
+            )
+            kwargs = {} if clock is None else {"clock": clock}
+            return AdversarialSearch(
+                get_space("adversarial"),
+                objective_from_json({"kind": "empirical"}),
+                config,
+                **kwargs,
+            )
+
+        return make
+
+    def test_one_heartbeat_per_generation(self, smoke_search, tmp_path):
+        ticks = iter(float(i) for i in range(100))
+        search = smoke_search(clock=lambda: next(ticks))
+        path = tmp_path / "search.jsonl"
+        result = search.run(metrics_path=str(path))
+        records = read_metric_records(path)
+        assert [r["generation"] for r in records] == list(
+            range(len(records))
+        )
+        assert len(records) == result.generations_run
+        last = records[-1]
+        assert last["record"] == "search_heartbeat"
+        assert last["best_score"] == pytest.approx(result.best_history[-1])
+        assert last["evaluations_total"] == result.evaluations
+        assert last["evaluations_total"] > 0
+        assert last["evals_per_s"] > 0  # fake clock: deterministic elapsed
+        assert last["archive_size"] > 0
+
+    def test_heartbeats_never_change_search_results(self, smoke_search, tmp_path):
+        silent = smoke_search().run()
+        chatty = smoke_search().run(
+            metrics_path=str(tmp_path / "hb.jsonl")
+        )
+        assert [e.to_json() for e in silent.hall_of_fame] == [
+            e.to_json() for e in chatty.hall_of_fame
+        ]
+
+    def test_resume_appends_to_the_stream(self, smoke_search, tmp_path):
+        from repro.search import resume_search
+
+        path = tmp_path / "hb.jsonl"
+        checkpoint = tmp_path / "ckpt.jsonl"
+        search = smoke_search(generations=2)
+        search.run(checkpoint_path=str(checkpoint), metrics_path=str(path))
+        first = read_metric_records(path)
+        resume_search(
+            str(checkpoint), generations=4, metrics_path=str(path)
+        )
+        combined = read_metric_records(path)
+        assert combined[: len(first)] == first
+        assert len(combined) > len(first)
+        resumed = combined[len(first):]
+        assert [r["generation"] for r in resumed] == list(
+            range(2, 2 + len(resumed))
+        )
