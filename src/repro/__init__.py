@@ -20,7 +20,10 @@ The package provides:
   multi-policy path;
 * :mod:`repro.search` — automated adversarial scenario search: a
   deterministic evolutionary loop over the scenario parameter space that
-  hunts ALG's empirical worst cases (``repro search run``).
+  hunts ALG's empirical worst cases (``repro search run``);
+* :mod:`repro.faults` — deterministic hardware-fault injection: seedable
+  schedules of laser/photodetector/edge failures, recoveries and rate
+  degradations that every engine degrades under bit-identically.
 
 Quickstart
 ----------
@@ -41,6 +44,7 @@ from repro.core.algorithm import (
 )
 from repro.core.interfaces import Dispatcher, Policy, Scheduler
 from repro.core.packet import Packet
+from repro.faults import FaultEvent, FaultSchedule, seeded_fault_schedule
 from repro.network.topology import TwoTierTopology
 from repro.simulation.engine import ENGINE_MODES, EngineConfig, SimulationEngine, simulate, simulate_multi
 from repro.simulation.results import SimulationResult
@@ -65,4 +69,7 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "simulate_multi",
+    "FaultEvent",
+    "FaultSchedule",
+    "seeded_fault_schedule",
 ]

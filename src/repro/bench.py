@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core import OpportunisticLinkScheduler
 from repro.network import projector_fabric
 from repro.simulation import EngineConfig, SimulationEngine, simulate, timed_policy
+from repro.utils.atomic import atomic_write_text
 from repro.workloads import uniform_weights
 from repro.workloads.adversarial import (
     iter_contention_hotspot_workload,
@@ -129,13 +130,15 @@ def load_history(path: Path) -> list:
 
 
 def save_history(path: Union[str, Path], history: list, tag: str) -> Path:
-    """Write ``history`` to ``path`` in the canonical benchmark-document shape."""
-    path = Path(path)
-    path.write_text(
-        json.dumps({"benchmark": tag, "history": history}, indent=2) + "\n",
-        encoding="utf-8",
+    """Atomically write ``history`` to ``path`` in the canonical document shape.
+
+    Histories accumulate across runs, so a crash mid-write must never clobber
+    the recorded trajectory: the document is staged in a temp file and
+    ``os.replace``d into place.
+    """
+    return atomic_write_text(
+        path, json.dumps({"benchmark": tag, "history": history}, indent=2) + "\n"
     )
-    return path
 
 
 def bench_path(section: str, directory: Union[str, Path]) -> Path:

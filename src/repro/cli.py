@@ -271,6 +271,17 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario's own setting)",
     )
     scen_run.add_argument(
+        "--faults", type=int, default=None, metavar="SEED",
+        help="inject a deterministic per-cell hardware-fault schedule "
+        "(failing lasers/photodetectors/edges, degraded rates) generated "
+        "from this seed; overrides any scenario-level fault configuration",
+    )
+    scen_run.add_argument(
+        "--on-fail", choices=("requeue", "drop", "redispatch"), default=None,
+        help="degradation policy for chunks stranded on failed hardware "
+        "(default: each scenario's own setting, normally 'requeue')",
+    )
+    scen_run.add_argument(
         "--output", default=None,
         help="also write the rows to this path (.json document or streamed .jsonl)",
     )
@@ -718,6 +729,8 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
         retention=args.retention,
         engine=args.engine,
         output_path=args.output,
+        faults_seed=args.faults,
+        on_fail=args.on_fail,
     )
     print(
         rows_to_table(

@@ -15,6 +15,7 @@ __all__ = [
     "SimulationError",
     "DispatchError",
     "SchedulingError",
+    "FaultError",
     "AnalysisError",
     "LPError",
     "ExperimentError",
@@ -65,6 +66,10 @@ class DispatchError(SimulationError):
 
 class SchedulingError(SimulationError):
     """Raised when a scheduler produces an invalid (non-matching) schedule."""
+
+
+class FaultError(SimulationError):
+    """Raised when a fault schedule is malformed or names unknown hardware."""
 
 
 class AnalysisError(ReproError):

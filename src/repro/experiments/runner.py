@@ -1,4 +1,4 @@
-"""Parallel experiment runner.
+"""Parallel, fault-tolerant experiment runner.
 
 Every sweep and comparison in :mod:`repro.experiments` is a *grid* of
 self-contained measurements: each grid point can be evaluated knowing only its
@@ -10,8 +10,11 @@ into a small subsystem:
 * :class:`ExperimentTask` is one materialised grid point, carrying its own
   deterministic seed derived from the spec's root seed through
   :class:`~repro.utils.rng.SeedSequenceFactory`;
-* :class:`RunnerConfig` selects serial or :mod:`multiprocessing` execution
-  (``jobs``) without changing the produced rows;
+* :class:`RunnerConfig` selects serial or multi-process execution (``jobs``)
+  without changing the produced rows, and configures the fault-tolerance
+  envelope: per-task ``timeout``, bounded ``retries`` with deterministic
+  re-seeding and exponential backoff, ``on_error`` policy, and a JSONL
+  ``checkpoint_path`` for crash-resumable sweeps;
 * :class:`ExperimentRunner` executes the grid and returns rows in grid order,
   optionally persisting them as JSON for later analysis.
 
@@ -20,6 +23,26 @@ splitnn-emulator's partitioner uses for its per-partition fan-out: tasks share
 *no* mutable state, their inputs are deterministic, and the runner reassembles
 outputs in the deterministic grid order, so ``jobs=1`` and ``jobs=N`` produce
 identical row lists.
+
+Fault tolerance
+---------------
+Long sweeps die for boring reasons — a worker segfaults, one grid point hangs,
+the host reboots.  The runner degrades gracefully instead of losing the sweep:
+
+* a task that raises is retried up to ``retries`` times, each attempt with a
+  fresh deterministic seed (``integer_seed("retry", name, index, attempt)``)
+  and exponentially backed-off delay;
+* a worker process that dies (``BrokenProcessPool``) or a task that exceeds
+  ``timeout`` tears the pool down, re-creates it, and resubmits every
+  unfinished task; only the blamed task consumes a retry — crash and timeout
+  retries keep the *original* task seed, so a transient crash reproduces the
+  exact rows an undisturbed run would have produced;
+* with ``on_error="skip"`` a task that exhausts its retries yields zero rows
+  (status ``"failed"`` in the heartbeat stream) instead of failing the sweep;
+* with ``checkpoint_path`` set, each completed task's rows are appended to a
+  JSONL checkpoint (flushed per record, torn final lines tolerated); re-running
+  the same spec against the same path replays completed tasks from the
+  checkpoint — bit-identical rows — and executes only the missing ones.
 
 Examples
 --------
@@ -45,12 +68,15 @@ import dataclasses
 import json
 import multiprocessing
 import time
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.exceptions import ExperimentError
+from repro.utils.atomic import atomic_writer
 from repro.utils.jsonl import iter_json_lines
 from repro.utils.rng import SeedSequenceFactory
 
@@ -72,6 +98,9 @@ __all__ = [
 #: mapping) or to a list of rows.  It must be picklable (a module-level
 #: function) for ``jobs > 1``.
 TaskFn = Callable[["ExperimentTask"], Any]
+
+#: Valid ``RunnerConfig.on_error`` policies.
+ON_ERROR_MODES = ("raise", "skip")
 
 
 @dataclass(frozen=True)
@@ -136,6 +165,16 @@ class ExperimentSpec:
             for index, params in enumerate(self.grid)
         ]
 
+    def retry_seed(self, index: int, attempt: int) -> int:
+        """Deterministic seed for retry ``attempt`` (>= 1) of task ``index``.
+
+        Derived through a ``"retry"``-namespaced key so it never collides with
+        the first-attempt task seeds, yet is reproducible across processes.
+        """
+        return SeedSequenceFactory(self.seed).integer_seed(
+            "retry", self.name, index, attempt
+        )
+
 
 @dataclass(frozen=True)
 class RunnerConfig:
@@ -146,31 +185,75 @@ class RunnerConfig:
     jobs:
         Number of worker processes; ``1`` (the default) runs tasks serially in
         the calling process, ``N > 1`` fans tasks out over a
-        :class:`multiprocessing.pool.Pool`.  The produced rows are identical
-        either way.
+        :class:`concurrent.futures.ProcessPoolExecutor`.  The produced rows
+        are identical either way.
     start_method:
         Optional :mod:`multiprocessing` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``); ``None`` uses the platform default.
     chunksize:
-        Number of tasks handed to a worker per dispatch; larger values
-        amortise IPC for big grids of cheap tasks.
+        Retained for API compatibility.  The fault-tolerant executor path
+        dispatches one task per submission so that per-task timeouts, retries
+        and crash recovery are possible; ``chunksize`` therefore no longer
+        batches IPC but is still validated.
     metrics_path:
         When set, the runner appends one ``{"record": "runner_heartbeat"}``
         JSONL line per completed task (task index, rows so far, elapsed
-        seconds) to this file, so long sweeps are observable from outside
-        the process.  Heartbeats never change the produced rows.
+        seconds, retry count and completion status) to this file, so long
+        sweeps are observable from outside the process.  Heartbeats never
+        change the produced rows.
+    timeout:
+        Per-task wall-clock budget in seconds for ``jobs > 1``; a task whose
+        result does not arrive in time consumes a retry (the worker pool is
+        recycled so the stuck worker cannot wedge the sweep).  ``None``
+        (default) waits forever.  Serial execution cannot interrupt a running
+        task, so ``timeout`` is ignored for ``jobs == 1``.
+    retries:
+        Number of times a failing task is re-attempted before the ``on_error``
+        policy applies.  Retries triggered by an in-task exception use a fresh
+        deterministic seed; retries triggered by a worker crash or timeout
+        keep the original seed (the task itself never observed a failure).
+    retry_backoff:
+        Base delay in seconds before retry ``k``; the actual sleep is
+        ``retry_backoff * 2**(k-1)``.  ``0`` disables backoff.
+    on_error:
+        ``"raise"`` (default) propagates the failure once retries are
+        exhausted; ``"skip"`` records the task as failed (zero rows, heartbeat
+        status ``"failed"``) and continues with the rest of the grid.
+    checkpoint_path:
+        When set, each successfully completed task's rows are appended to this
+        JSONL file (one flushed record per task).  Running the same spec again
+        with the same path resumes: completed tasks are replayed bit-identically
+        from the checkpoint and only missing or previously failed tasks are
+        executed.
     """
 
     jobs: int = 1
     start_method: Optional[str] = None
     chunksize: int = 1
     metrics_path: Optional[str] = None
+    timeout: Optional[float] = None
+    retries: int = 0
+    retry_backoff: float = 0.05
+    on_error: str = "raise"
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
+        if self.timeout is not None and not self.timeout > 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
 
 
 def _execute_task(task_fn: TaskFn, task: ExperimentTask) -> List[Any]:
@@ -189,6 +272,83 @@ def _execute_task(task_fn: TaskFn, task: ExperimentTask) -> List[Any]:
     return [output]
 
 
+def _reseeded(spec: ExperimentSpec, task: ExperimentTask, attempt: int) -> ExperimentTask:
+    """Task to submit for ``attempt``: the original at 0, re-seeded afterwards."""
+    if attempt == 0:
+        return task
+    return dataclasses.replace(task, seed=spec.retry_seed(task.index, attempt))
+
+
+@dataclass
+class _TaskOutcome:
+    """Result of one grid point: its rows plus how the runner got them.
+
+    ``status`` is ``"ok"`` (executed this run), ``"checkpointed"`` (replayed
+    from the checkpoint file) or ``"failed"`` (retries exhausted under
+    ``on_error="skip"``); ``retries`` counts extra attempts consumed.
+    """
+
+    index: int
+    rows: List[Any]
+    status: str
+    retries: int
+
+
+def _load_checkpoint(
+    path: Path, spec: ExperimentSpec, tasks: Sequence[ExperimentTask]
+) -> Dict[int, _TaskOutcome]:
+    """Read completed-task records back from a runner checkpoint file.
+
+    A torn *final* line (crash mid-append) is tolerated — that task is simply
+    re-run; corruption anywhere else, or a record written by a different
+    experiment or root seed, raises :class:`ExperimentError` so a sweep can
+    never silently mix rows from two different specs.
+    """
+    if not path.exists():
+        return {}
+    done: Dict[int, _TaskOutcome] = {}
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            if number == len(lines):
+                break  # torn final record from a crash mid-write; re-run it
+            raise ExperimentError(
+                f"{path}:{number}: corrupt checkpoint record: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or record.get("record") != "task":
+            raise ExperimentError(
+                f"{path}:{number}: not a runner checkpoint record"
+            )
+        if record.get("experiment") != spec.name:
+            raise ExperimentError(
+                f"{path}:{number}: checkpoint belongs to experiment "
+                f"{record.get('experiment')!r}, not {spec.name!r}"
+            )
+        index = record.get("task_index")
+        if not isinstance(index, int) or not 0 <= index < len(tasks):
+            raise ExperimentError(
+                f"{path}:{number}: task_index {index!r} outside the "
+                f"{len(tasks)}-point grid"
+            )
+        if record.get("seed") != tasks[index].seed:
+            raise ExperimentError(
+                f"{path}:{number}: task {index} seed mismatch — checkpoint "
+                f"was written with a different root seed or grid"
+            )
+        done[index] = _TaskOutcome(
+            index=index,
+            rows=list(record.get("rows", [])),
+            status="checkpointed",
+            retries=int(record.get("retries", 0)),
+        )
+    return done
+
+
 class ExperimentRunner:
     """Executes an :class:`ExperimentSpec` serially or over a process pool."""
 
@@ -205,7 +365,9 @@ class ExperimentRunner:
         When ``output_path`` is given the rows are also persisted: paths
         ending in ``.jsonl`` are written as JSON Lines (streamed row by row
         as tasks finish), anything else as one JSON document (plus the spec
-        name, root seed and grid size).
+        name, root seed and grid size).  Both formats are finalised
+        atomically (temp file + ``os.replace``), so a crash mid-write never
+        leaves a truncated artifact behind.
         """
         if output_path is not None and str(output_path).endswith(".jsonl"):
             rows: List[Any] = []
@@ -227,14 +389,14 @@ class ExperimentRunner:
 
         The streaming counterpart of :meth:`run`: with ``jobs == 1`` each
         task is evaluated only when its rows are pulled; with ``jobs > 1``
-        tasks are fanned out through :meth:`multiprocessing.pool.Pool.imap`
-        (bounded by ``chunksize``), so at most a window of task outputs —
-        not the whole grid — is buffered in the parent process.
+        tasks are fanned out over a process pool and reassembled in grid
+        order, so at most completed-but-unyielded task outputs — not the
+        whole grid — are buffered in the parent process.
         """
-        tasks = spec.tasks()
-        call = partial(_execute_task, spec.task_fn)
+        outcomes = self._iter_outcomes(spec)
         if self.config.metrics_path is None:
-            yield from self._iter_task_rows(tasks, call)
+            for outcome in outcomes:
+                yield from outcome.rows
             return
         # Heartbeats are written by the parent as each task's rows arrive, so
         # the stream is ordered and works identically for jobs == 1 and > 1.
@@ -242,37 +404,208 @@ class ExperimentRunner:
 
         started = time.perf_counter()
         rows_emitted = 0
+        tasks_total = len(spec.grid)
         with MetricsWriter(self.config.metrics_path, mode="a") as writer:
-            for task_index, task_rows in enumerate(
-                self._iter_task_outputs(tasks, call)
-            ):
-                rows_emitted += len(task_rows)
+            for outcome in outcomes:
+                rows_emitted += len(outcome.rows)
                 writer.write(
                     {
                         "record": "runner_heartbeat",
                         "experiment": spec.name,
-                        "task_index": task_index,
-                        "tasks_total": len(tasks),
+                        "task_index": outcome.index,
+                        "tasks_total": tasks_total,
                         "rows_emitted": rows_emitted,
                         "elapsed_s": round(time.perf_counter() - started, 6),
+                        "retries": outcome.retries,
+                        "status": outcome.status,
                     }
                 )
-                yield from task_rows
+                yield from outcome.rows
 
-    def _iter_task_rows(self, tasks, call) -> Iterator[Any]:
-        for task_rows in self._iter_task_outputs(tasks, call):
-            yield from task_rows
+    # ------------------------------------------------------------------ #
+    # outcome production: checkpointing wrapper over execution
+    # ------------------------------------------------------------------ #
+    def _iter_outcomes(self, spec: ExperimentSpec) -> Iterator[_TaskOutcome]:
+        """Yield one :class:`_TaskOutcome` per grid point, in grid order."""
+        tasks = spec.tasks()
+        if self.config.checkpoint_path is None:
+            yield from self._iter_fresh_outcomes(tasks, spec)
+            return
+        path = Path(self.config.checkpoint_path)
+        done = _load_checkpoint(path, spec, tasks)
+        to_run = [task for task in tasks if task.index not in done]
+        fresh = self._iter_fresh_outcomes(to_run, spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Mirrors repro.search's checkpoint writer: append mode, one JSON
+        # record per line, flushed immediately so a later crash loses at most
+        # the record being written (and _load_checkpoint tolerates that tear).
+        with path.open("a", encoding="utf-8") as handle:
+            for task in tasks:
+                if task.index in done:
+                    yield done[task.index]
+                    continue
+                outcome = next(fresh)
+                if outcome.status == "ok":
+                    record = {
+                        "record": "task",
+                        "experiment": spec.name,
+                        "task_index": outcome.index,
+                        "seed": tasks[outcome.index].seed,
+                        "retries": outcome.retries,
+                        "rows": [_row_to_jsonable(row) for row in outcome.rows],
+                    }
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.flush()
+                yield outcome
 
-    def _iter_task_outputs(self, tasks, call) -> Iterator[List[Any]]:
-        """Yield one completed task's row list at a time, in grid order."""
+    def _iter_fresh_outcomes(
+        self, tasks: Sequence[ExperimentTask], spec: ExperimentSpec
+    ) -> Iterator[_TaskOutcome]:
+        if not tasks:
+            return
         if self.config.jobs == 1 or len(tasks) <= 1:
             for task in tasks:
-                yield call(task)
+                yield self._run_task_serial(spec, task)
             return
-        context = multiprocessing.get_context(self.config.start_method)
-        processes = min(self.config.jobs, len(tasks))
-        with context.Pool(processes=processes) as pool:
-            yield from pool.imap(call, tasks, chunksize=self.config.chunksize)
+        yield from self._iter_parallel_outcomes(tasks, spec)
+
+    # ------------------------------------------------------------------ #
+    # serial execution with retries
+    # ------------------------------------------------------------------ #
+    def _run_task_serial(
+        self, spec: ExperimentSpec, task: ExperimentTask
+    ) -> _TaskOutcome:
+        attempt = 0
+        while True:
+            try:
+                rows = _execute_task(spec.task_fn, _reseeded(spec, task, attempt))
+            except ExperimentError:
+                if attempt >= self.config.retries:
+                    if self.config.on_error == "skip":
+                        return _TaskOutcome(task.index, [], "failed", attempt)
+                    raise
+                attempt += 1
+                self._backoff(attempt)
+            else:
+                return _TaskOutcome(task.index, rows, "ok", attempt)
+
+    def _backoff(self, attempt: int) -> None:
+        delay = self.config.retry_backoff * (2 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------ #
+    # parallel execution: timeouts, retries, worker-crash recovery
+    # ------------------------------------------------------------------ #
+    def _iter_parallel_outcomes(
+        self, tasks: Sequence[ExperimentTask], spec: ExperimentSpec
+    ) -> Iterator[_TaskOutcome]:
+        """Fan tasks out over a :class:`ProcessPoolExecutor`, in grid order.
+
+        The pool is treated as expendable: a timeout or a dead worker tears
+        it down and re-creates it, resubmitting every unfinished task.  Only
+        the task being waited on is blamed (consumes a retry); the rest are
+        resubmitted at their current attempt, so an innocent neighbour of a
+        crashing task never loses determinism.
+        """
+        config = self.config
+        context = multiprocessing.get_context(config.start_method)
+        call = partial(_execute_task, spec.task_fn)
+        remaining: Dict[int, ExperimentTask] = {task.index: task for task in tasks}
+        attempts: Dict[int, int] = {task.index: 0 for task in tasks}
+        # Seed attempts advance only on *in-task* exceptions: a crash or a
+        # timeout is the environment's fault, so the retry keeps the original
+        # seed and reproduces exactly the rows an undisturbed run would have.
+        seed_attempts: Dict[int, int] = {task.index: 0 for task in tasks}
+        finished: Dict[int, _TaskOutcome] = {}
+        order = [task.index for task in tasks]
+
+        executor: Optional[ProcessPoolExecutor] = None
+        futures: Dict[int, Any] = {}
+
+        def start_executor() -> None:
+            nonlocal executor, futures
+            executor = ProcessPoolExecutor(
+                max_workers=min(config.jobs, len(remaining)),
+                mp_context=context,
+            )
+            futures = {
+                index: executor.submit(
+                    call, _reseeded(spec, task, seed_attempts[index])
+                )
+                for index, task in sorted(remaining.items())
+            }
+
+        def stop_executor() -> None:
+            nonlocal executor, futures
+            if executor is not None:
+                for future in futures.values():
+                    future.cancel()
+                executor.shutdown(wait=False)
+            executor = None
+            futures = {}
+
+        def blame(index: int, reason: str) -> None:
+            """Charge a pool-level disruption (timeout/crash) to ``index``."""
+            if attempts[index] >= config.retries:
+                task = remaining.pop(index)
+                if config.on_error == "skip":
+                    finished[index] = _TaskOutcome(index, [], "failed", attempts[index])
+                    return
+                raise ExperimentError(
+                    f"task {index} of experiment {spec.name!r} {reason} after "
+                    f"{attempts[index] + 1} attempt(s) (params={task.params!r})"
+                )
+            attempts[index] += 1
+            self._backoff(attempts[index])
+
+        start_executor()
+        try:
+            for index in order:
+                while index not in finished:
+                    future = futures[index]
+                    try:
+                        rows = future.result(timeout=config.timeout)
+                    except _FutureTimeout:
+                        blame(index, "timed out")
+                        stop_executor()
+                        if remaining:
+                            start_executor()
+                    except BrokenProcessPool:
+                        blame(index, "crashed (worker process died)")
+                        stop_executor()
+                        if remaining:
+                            start_executor()
+                    except ExperimentError:
+                        # The task itself raised inside the worker: the pool is
+                        # healthy, so only this task is re-submitted — with a
+                        # fresh deterministic retry seed.
+                        if attempts[index] >= config.retries:
+                            if config.on_error != "skip":
+                                raise
+                            remaining.pop(index)
+                            finished[index] = _TaskOutcome(
+                                index, [], "failed", attempts[index]
+                            )
+                        else:
+                            attempts[index] += 1
+                            seed_attempts[index] += 1
+                            self._backoff(attempts[index])
+                            assert executor is not None
+                            futures[index] = executor.submit(
+                                call,
+                                _reseeded(
+                                    spec, remaining[index], seed_attempts[index]
+                                ),
+                            )
+                    else:
+                        finished[index] = _TaskOutcome(
+                            index, rows, "ok", attempts[index]
+                        )
+                        remaining.pop(index)
+                yield finished.pop(index)
+        finally:
+            stop_executor()
 
 
 def run_experiment(
@@ -283,8 +616,8 @@ def run_experiment(
 ) -> List[Any]:
     """One-call convenience wrapper: run ``spec`` with ``jobs`` workers.
 
-    ``chunksize`` is the number of grid points streamed to a worker per
-    dispatch (only meaningful for ``jobs > 1``).
+    ``chunksize`` is retained for API compatibility (see
+    :class:`RunnerConfig`).
     """
     return ExperimentRunner(RunnerConfig(jobs=jobs, chunksize=chunksize)).run(
         spec, output_path=output_path
@@ -318,9 +651,10 @@ def write_json(
     path: Union[str, Path],
     spec: Optional[ExperimentSpec] = None,
 ) -> Path:
-    """Write rows to ``path`` as JSON and return the path."""
+    """Atomically write rows to ``path`` as JSON and return the path."""
     path = Path(path)
-    path.write_text(rows_to_json(rows, spec=spec) + "\n", encoding="utf-8")
+    with atomic_writer(path) as handle:
+        handle.write(rows_to_json(rows, spec=spec) + "\n")
     return path
 
 
@@ -333,13 +667,15 @@ def read_json(path: Union[str, Path]) -> List[Dict[str, Any]]:
 
 
 def write_jsonl(rows: Iterable[object], path: Union[str, Path]) -> Path:
-    """Write rows to ``path`` as JSON Lines (one row per line) and return the path.
+    """Atomically write rows to ``path`` as JSON Lines and return the path.
 
-    Accepts any iterable of rows and streams them out without building the
-    whole document in memory — the persistence format for large sweeps.
+    Accepts any iterable of rows and streams them to a temporary file without
+    building the whole document in memory; the temp file replaces ``path``
+    only once every row has been written, so readers never observe a
+    truncated sweep.
     """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_writer(path) as handle:
         for row in rows:
             handle.write(json.dumps(_row_to_jsonable(row), sort_keys=True) + "\n")
     return path

@@ -62,8 +62,15 @@ class MetricsWriter:
 
 
 def iter_metric_records(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
-    """Lazily yield the records of a metrics JSONL file."""
-    for _line_number, record in iter_json_lines(path, ObservabilityError):
+    """Lazily yield the records of a metrics JSONL file.
+
+    A truncated *final* line — the tear a killed writer leaves behind — is
+    dropped silently so heartbeat streams from crashed runs stay readable;
+    malformed records anywhere else still raise :class:`ObservabilityError`.
+    """
+    for _line_number, record in iter_json_lines(
+        path, ObservabilityError, tolerate_torn_tail=True
+    ):
         if not isinstance(record, dict):
             raise ObservabilityError(
                 f"metrics file {path} holds a non-object record: {record!r}"

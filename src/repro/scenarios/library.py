@@ -14,7 +14,8 @@ Scenarios fall into three families:
 
 Grids are named scenario subsets: ``smoke`` (seconds, runs in CI on every
 push), ``paper``, ``adversarial``, ``speed`` (the same cells replayed at
-speeds 1.0/1.5/2.5 via a shared ``seed_key``) and ``full``.  Use
+speeds 1.0/1.5/2.5 via a shared ``seed_key``), ``faulted`` (the same cells
+replayed under deterministic hardware-fault schedules) and ``full``.  Use
 :func:`register_scenario` to add project-specific scenarios; everything
 registered shows up in ``repro scenarios list`` and the ``full`` grid
 automatically.
@@ -286,6 +287,34 @@ for _base_name in _SPEED_BASES:
         ))
 
 
+# ----------------------------- faulted tier ----------------------------- #
+# Robustness counterpart of the speed grid: the *same* cells (shared
+# ``seed_key``) replayed with a deterministic per-cell fault schedule
+# (failing lasers/photodetectors/edges plus degraded-rate events, generated
+# by :func:`repro.faults.seeded_fault_schedule` inside the worker task).
+# Only hybrid bases are used — their uniform fixed links guarantee every
+# packet stays routable even if a whole rack's optics are dark, so the tier
+# measures graceful degradation rather than hard routing failure.
+_FAULTED_BASES = ("tiny-random", "hybrid-zipf")
+
+
+def _faulted_variant_name(base: str) -> str:
+    return f"{base}@faulted"
+
+
+for _base_name in _FAULTED_BASES:
+    _base = get_scenario(_base_name)
+    register_scenario(dataclasses.replace(
+        _base,
+        name=_faulted_variant_name(_base_name),
+        description=f"{_base.description} — with injected hardware faults",
+        fault_seed=0,
+        on_fail="requeue",
+        tags=tuple(t for t in _base.tags if t != "smoke") + ("faulted",),
+        seed_key=_base_name,
+    ))
+
+
 # ---------------------------------------------------------------------- #
 # grids
 # ---------------------------------------------------------------------- #
@@ -301,6 +330,11 @@ GRIDS: Dict[str, Sequence[str]] = {
         for base in _SPEED_BASES
         for name in (base, *(_speed_variant_name(base, s) for s in _SPEED_VALUES))
     ),
+    # Only the @faulted variants: fault rows carry extra fields
+    # (num_fault_events, on_fail), so mixing them with their fault-free
+    # bases would break uniform-field row tables; compare against the base
+    # scenarios through the ``smoke``/``paper`` grids instead.
+    "faulted": tuple(_faulted_variant_name(base) for base in _FAULTED_BASES),
 }
 
 

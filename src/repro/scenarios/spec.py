@@ -32,6 +32,7 @@ from repro.core.interfaces import Policy
 from repro.core.packet import Packet
 from repro.exceptions import ScenarioError, TopologyError
 from repro.experiments.runner import ExperimentSpec, ExperimentTask, run_experiment
+from repro.faults import ON_FAIL_MODES, FaultSchedule, seeded_fault_schedule
 from repro.network.builders import (
     add_uniform_fixed_links,
     figure1_topology,
@@ -372,6 +373,21 @@ class Scenario:
         step through numpy, ``"reference"`` the O(n) scans.  Results are
         bit-identical, so this is a performance knob, overridable per run
         through :meth:`ScenarioMatrix.to_experiment_spec`.
+    faults:
+        Optional explicit :class:`~repro.faults.FaultSchedule` injected into
+        every cell's engine.  Only usable when the topology spec is
+        deterministic enough that the named hardware exists in every cell.
+    fault_seed:
+        When set, each cell generates its own fault schedule from the
+        materialised topology via
+        :func:`~repro.faults.seeded_fault_schedule`, with a schedule seed
+        derived from ``(fault_seed, seed key, cell seed)`` — deterministic
+        across jobs counts and safe for seed-dependent topologies.
+        Mutually exclusive with ``faults``.
+    on_fail:
+        Degradation policy for chunks stranded on failed hardware
+        (``"requeue"``, ``"drop"`` or ``"redispatch"``, see
+        :class:`~repro.simulation.engine.EngineConfig`).
     """
 
     name: str
@@ -385,6 +401,9 @@ class Scenario:
     max_slots: int = 1_000_000
     seed_key: Optional[str] = None
     engine: str = "indexed"
+    faults: Optional[FaultSchedule] = None
+    fault_seed: Optional[int] = None
+    on_fail: str = "requeue"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -397,6 +416,21 @@ class Scenario:
             raise ScenarioError(
                 f"scenario {self.name!r}: engine must be one of {ENGINE_MODES}, "
                 f"got {self.engine!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ScenarioError(
+                f"scenario {self.name!r}: faults must be a FaultSchedule, "
+                f"got {type(self.faults).__name__}"
+            )
+        if self.faults is not None and self.fault_seed is not None:
+            raise ScenarioError(
+                f"scenario {self.name!r}: faults and fault_seed are mutually "
+                "exclusive"
+            )
+        if self.on_fail not in ON_FAIL_MODES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: on_fail must be one of {ON_FAIL_MODES}, "
+                f"got {self.on_fail!r}"
             )
 
     def materialise(
@@ -437,6 +471,43 @@ def _summary_row(
     return row
 
 
+def _resolve_cell_faults(
+    scenario: Scenario, task: ExperimentTask, topology: TwoTierTopology, seed: int
+) -> Tuple[Optional[FaultSchedule], str]:
+    """The ``(fault schedule, on_fail)`` pair for one cell.
+
+    A run-level ``faults_seed`` (``repro scenarios run --faults``) overrides
+    the scenario's own fault configuration; schedule seeds are derived from
+    ``(faults seed, seed key, cell seed)`` so the same cell sees the same
+    faults no matter which grid or jobs count runs it.
+    """
+    on_fail = task.params.get("on_fail") or scenario.on_fail
+    fault_seed = task.params.get("faults_seed")
+    if fault_seed is None:
+        fault_seed = scenario.fault_seed
+        if fault_seed is None:
+            return scenario.faults, on_fail
+    key = scenario.seed_key or scenario.name
+    schedule_seed = SeedSequenceFactory(fault_seed).integer_seed("faults", key, seed)
+    # Four events (vs the generator's default two) so small cells still see
+    # traffic actually stranded by a failure, not just masked edges.
+    return seeded_fault_schedule(topology, seed=schedule_seed, num_faults=4), on_fail
+
+
+def _fault_row_fields(
+    row: Dict[str, Any], faults: Optional[FaultSchedule], on_fail: str
+) -> Dict[str, Any]:
+    """Annotate a summary row with its fault configuration (faulted cells only).
+
+    Fault-free rows keep the historical key set, so golden fingerprints and
+    existing result files are unaffected.
+    """
+    if faults is not None:
+        row["num_fault_events"] = len(faults)
+        row["on_fail"] = on_fail
+    return row
+
+
 def _scenario_cell_task(task: ExperimentTask) -> List[Dict[str, Any]]:
     """Shared mode: one task per cell, all policies over one arrival stream."""
     scenario: Scenario = task.params["scenario"]
@@ -444,6 +515,7 @@ def _scenario_cell_task(task: ExperimentTask) -> List[Dict[str, Any]]:
     retention: str = task.params.get("retention", "full")
     engine_mode: str = task.params.get("engine") or scenario.engine
     topology, packets, policies = scenario.materialise(seed)
+    faults, on_fail = _resolve_cell_faults(scenario, task, topology, seed)
     engine = SimulationEngine(
         topology,
         config=EngineConfig(
@@ -451,10 +523,15 @@ def _scenario_cell_task(task: ExperimentTask) -> List[Dict[str, Any]]:
             max_slots=scenario.max_slots,
             retention=retention,
             engine=engine_mode,
+            faults=faults,
+            on_fail=on_fail,
         ),
     )
     results = engine.run_multi(packets, policies)
-    return [_summary_row(scenario, seed, name, results[name]) for name in policies]
+    return [
+        _fault_row_fields(_summary_row(scenario, seed, name, results[name]), faults, on_fail)
+        for name in policies
+    ]
 
 
 def _scenario_policy_task(task: ExperimentTask) -> Dict[str, Any]:
@@ -465,6 +542,7 @@ def _scenario_policy_task(task: ExperimentTask) -> Dict[str, Any]:
     retention: str = task.params.get("retention", "full")
     engine_mode: str = task.params.get("engine") or scenario.engine
     topology, packets, policies = scenario.materialise(seed)
+    faults, on_fail = _resolve_cell_faults(scenario, task, topology, seed)
     engine = SimulationEngine(
         topology,
         policies[policy_name],
@@ -473,9 +551,13 @@ def _scenario_policy_task(task: ExperimentTask) -> Dict[str, Any]:
             max_slots=scenario.max_slots,
             retention=retention,
             engine=engine_mode,
+            faults=faults,
+            on_fail=on_fail,
         ),
     )
-    return _summary_row(scenario, seed, policy_name, engine.run(packets))
+    return _fault_row_fields(
+        _summary_row(scenario, seed, policy_name, engine.run(packets)), faults, on_fail
+    )
 
 
 @dataclass(frozen=True)
@@ -509,7 +591,12 @@ class ScenarioMatrix:
         return [(s, seed) for s in self.scenarios for seed in s.seeds]
 
     def to_experiment_spec(
-        self, mode: str = "shared", retention: str = "full", engine: Optional[str] = None
+        self,
+        mode: str = "shared",
+        retention: str = "full",
+        engine: Optional[str] = None,
+        faults_seed: Optional[int] = None,
+        on_fail: Optional[str] = None,
     ) -> ExperimentSpec:
         """Expand the matrix into an :class:`ExperimentSpec`.
 
@@ -519,16 +606,27 @@ class ScenarioMatrix:
         rebuilding topology and workload — same rows, the pre-scenario
         architecture.  ``engine`` overrides every scenario's hot-path backend
         for dispatch and scheduling (``None`` keeps each scenario's own).
-        Row order and contents are identical across modes, engines and jobs
-        counts.
+        ``faults_seed`` injects a deterministic per-cell fault schedule into
+        every cell (overriding any scenario-level fault configuration) and
+        ``on_fail`` overrides the degradation policy.  Row order and
+        contents are identical across modes, engines and jobs counts.
         """
         if mode not in SCENARIO_MODES:
             raise ScenarioError(f"mode must be one of {SCENARIO_MODES}, got {mode!r}")
         if engine is not None and engine not in ENGINE_MODES:
             raise ScenarioError(f"engine must be one of {ENGINE_MODES}, got {engine!r}")
+        if on_fail is not None and on_fail not in ON_FAIL_MODES:
+            raise ScenarioError(
+                f"on_fail must be one of {ON_FAIL_MODES}, got {on_fail!r}"
+            )
+        common = {"retention": retention, "engine": engine}
+        if faults_seed is not None:
+            common["faults_seed"] = faults_seed
+        if on_fail is not None:
+            common["on_fail"] = on_fail
         if mode == "shared":
             grid = [
-                {"scenario": scenario, "seed": seed, "retention": retention, "engine": engine}
+                {"scenario": scenario, "seed": seed, **common}
                 for scenario, seed in self.cells()
             ]
             return ExperimentSpec(
@@ -539,8 +637,7 @@ class ScenarioMatrix:
                 "scenario": scenario,
                 "seed": seed,
                 "policy_name": policy_name,
-                "retention": retention,
-                "engine": engine,
+                **common,
             }
             for scenario, seed in self.cells()
             for policy_name in scenario.policies
@@ -557,10 +654,15 @@ class ScenarioMatrix:
         retention: str = "full",
         engine: Optional[str] = None,
         output_path: Optional[str] = None,
+        faults_seed: Optional[int] = None,
+        on_fail: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Run every cell and return one row per (scenario, seed, policy)."""
         return run_experiment(
-            self.to_experiment_spec(mode=mode, retention=retention, engine=engine),
+            self.to_experiment_spec(
+                mode=mode, retention=retention, engine=engine,
+                faults_seed=faults_seed, on_fail=on_fail,
+            ),
             jobs=jobs,
             chunksize=chunksize,
             output_path=output_path,

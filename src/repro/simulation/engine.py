@@ -46,6 +46,7 @@ from repro.core.interfaces import Policy
 from repro.core.packet import Chunk, EdgeAssignment, FixedLinkAssignment, Packet
 from repro.core.queues import PendingChunkPool
 from repro.exceptions import SchedulingError, SimulationError
+from repro.faults import ON_FAIL_MODES, FabricState, FaultEvent, FaultSchedule, FaultTopologyView
 from repro.network.topology import TwoTierTopology
 from repro.obs import NULL_REGISTRY, MetricsRegistry, MetricsWriter, SpanTimer
 from repro.simulation.accumulators import OnlineSummary
@@ -172,6 +173,24 @@ class EngineConfig:
         timed into per-policy ``engine_phase_seconds`` gauges (1 = every
         slot).  0 (default) disables span sampling.  Only active when a
         metrics registry is enabled.
+    faults:
+        A :class:`~repro.faults.FaultSchedule` of deterministic
+        fail/recover/degrade events applied at the start of each slot:
+        failed lasers/photodetectors/edges disappear from every
+        dispatcher's candidate set, chunks stranded on them are evicted
+        from the pool according to ``on_fail``, and degraded edges transmit
+        at a fractional rate.  ``None`` (default) disables the fault
+        runtime entirely.  All three engine backends stay bit-identical
+        under any schedule.
+    on_fail:
+        What happens to pending chunks stranded on failed hardware:
+        ``"requeue"`` (default) holds them outside the pool and re-admits
+        them — partial ``remaining_work`` intact, no head delay re-paid —
+        when their edge recovers; ``"drop"`` abandons them (the packet
+        never completes; its accrued fractional latency is kept);
+        ``"redispatch"`` moves them to the live candidate edge of minimum
+        delay (re-paying the new head delay, keeping the original split
+        granularity), falling back to holding when no candidate is alive.
     """
 
     speed: float = 1.0
@@ -187,10 +206,18 @@ class EngineConfig:
     obs: Optional[MetricsRegistry] = None
     metrics_path: Optional[str] = None
     span_stride: int = 0
+    faults: Optional[FaultSchedule] = None
+    on_fail: str = "requeue"
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
             raise ValueError(f"speed must be positive, got {self.speed}")
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ValueError(
+                f"faults must be a FaultSchedule or None, got {type(self.faults).__name__}"
+            )
+        if self.on_fail not in ON_FAIL_MODES:
+            raise ValueError(f"on_fail must be one of {ON_FAIL_MODES}, got {self.on_fail!r}")
         if self.max_slots < 1:
             raise ValueError(f"max_slots must be >= 1, got {self.max_slots}")
         if self.span_stride < 0:
@@ -382,6 +409,7 @@ class _FullRecorder:
     def __init__(self, result: SimulationResult) -> None:
         self._result = result
         self._undelivered: Dict[int, int] = {}
+        self._dropped: set[int] = set()
 
     def on_dispatch(self, packet: Packet, assignment) -> None:
         if isinstance(assignment, FixedLinkAssignment):
@@ -402,11 +430,22 @@ class _FullRecorder:
     def on_chunk_completed(self, chunk: Chunk) -> None:
         pid = chunk.packet.packet_id
         self._undelivered[pid] -= 1
-        if self._undelivered[pid] == 0:
+        if self._undelivered[pid] == 0 and pid not in self._dropped:
             record = self._result.records[pid]
             record.completion_time = max(
                 (c.delivery_time or 0.0) for c in record.assignment.chunks
             )
+
+    def on_chunk_dropped(self, chunk: Chunk) -> None:
+        """A stranded chunk was abandoned (``on_fail="drop"``).
+
+        The packet keeps its accrued fractional latency but its
+        ``completion_time`` stays ``None`` forever — it is neither in flight
+        nor delivered.
+        """
+        pid = chunk.packet.packet_id
+        self._dropped.add(pid)
+        self._undelivered[pid] -= 1
 
     def note_matchings(self, count: int, total: int, largest: int, nonempty: int) -> None:
         pass  # matching_sizes list is appended by the engine loop itself
@@ -414,6 +453,10 @@ class _FullRecorder:
     def in_flight_packets(self) -> int:
         """Packets dispatched to an edge but not yet fully delivered."""
         return sum(1 for remaining in self._undelivered.values() if remaining > 0)
+
+    def dropped_packets(self) -> int:
+        """Packets that lost at least one chunk to ``on_fail="drop"``."""
+        return len(self._dropped)
 
 
 class _AggregateRecorder:
@@ -426,7 +469,7 @@ class _AggregateRecorder:
     the full records in record order.
     """
 
-    __slots__ = ("summary", "_active", "_finished", "_next_order", "_next_finalize")
+    __slots__ = ("summary", "_active", "_finished", "_next_order", "_next_finalize", "_dropped")
 
     def __init__(self, summary: OnlineSummary) -> None:
         self.summary = summary
@@ -435,6 +478,7 @@ class _AggregateRecorder:
         self._finished: Dict[int, Tuple[float, float]] = {}
         self._next_order = 0
         self._next_finalize = 0
+        self._dropped: set[int] = set()
 
     def on_dispatch(self, packet: Packet, assignment) -> None:
         order = self._next_order
@@ -471,6 +515,22 @@ class _AggregateRecorder:
             self.summary.add_completion(latency, flow_time)
             self._next_finalize += 1
 
+    def on_chunk_dropped(self, chunk: Chunk) -> None:
+        """A stranded chunk was abandoned (``on_fail="drop"``).
+
+        The packet is finalised with its accrued fractional latency — added
+        to the compensated totals at its dispatch-order turn, exactly like
+        the full-retention sum over records — but never counted delivered.
+        The 0.0 flow-completion term is a bitwise no-op on the accumulator.
+        """
+        pid = chunk.packet.packet_id
+        self._dropped.add(pid)
+        entry = self._active[pid]
+        entry[1] -= 1
+        if entry[1] == 0:
+            del self._active[pid]
+            self._finish(int(entry[0]), entry[2], 0.0)
+
     def note_matchings(self, count: int, total: int, largest: int, nonempty: int) -> None:
         self.summary.add_matchings(count, total, largest, nonempty)
 
@@ -478,8 +538,55 @@ class _AggregateRecorder:
         """Packets dispatched to an edge but not yet fully delivered."""
         return len(self._active)
 
+    def dropped_packets(self) -> int:
+        """Packets that lost at least one chunk to ``on_fail="drop"``."""
+        return len(self._dropped)
+
 
 _Recorder = Union[_FullRecorder, _AggregateRecorder]
+
+
+class _LaneFaults:
+    """One lane's fault runtime: schedule cursor, fabric state, held chunks.
+
+    Every lane of a run owns an independent instance (fault state is part of
+    lane state, like the pool), but all lanes apply the same schedule at the
+    same slots, so fault state at any slot is identical across lanes — which
+    is what keeps ``run_multi``'s shared-dispatch memo sound under faults.
+    """
+
+    __slots__ = (
+        "events",
+        "state",
+        "view",
+        "cursor",
+        "held",
+        "events_applied",
+        "recoveries",
+        "requeued",
+        "dropped",
+        "redispatched",
+    )
+
+    def __init__(self, schedule: FaultSchedule, topology: TwoTierTopology) -> None:
+        self.events = schedule.events
+        self.state = FabricState()
+        self.view = FaultTopologyView(topology, self.state)
+        self.cursor = 0
+        #: Chunks evicted under ``on_fail="requeue"`` (or redispatch with no
+        #: live candidate), in eviction order, awaiting a recovery event.
+        self.held: List[Chunk] = []
+        self.events_applied = 0
+        self.recoveries = 0
+        self.requeued = 0
+        self.dropped = 0
+        self.redispatched = 0
+
+    def next_event_slot(self) -> Optional[int]:
+        """Slot of the next unapplied event, or ``None`` when exhausted."""
+        if self.cursor >= len(self.events):
+            return None
+        return self.events[self.cursor].slot
 
 
 class _PolicyLane:
@@ -521,6 +628,8 @@ class _PolicyLane:
         "_m_skipped",
         "_m_peak_chunks",
         "_m_peak_work",
+        "_faults",
+        "_topology",
     )
 
     def __init__(
@@ -552,6 +661,14 @@ class _PolicyLane:
         self.backend = (
             VectorTransmitBackend() if engine.config.engine == "vectorized" else None
         )
+        # Fault runtime: an empty schedule is equivalent to no schedule, so
+        # fault-free runs pay nothing (no per-step cursor check, dispatchers
+        # and schedulers see the frozen topology directly).
+        faults = engine.config.faults
+        self._faults = (
+            _LaneFaults(faults, engine.topology) if faults is not None and faults else None
+        )
+        self._topology = self._faults.view if self._faults is not None else engine.topology
         # Profiled policies (see repro.simulation.timed_policy) declare their
         # PhaseTimings on the Policy field; the engine times the transmit
         # phase for them.
@@ -591,7 +708,9 @@ class _PolicyLane:
     @property
     def done(self) -> bool:
         """Whether the lane has dispatched and delivered everything."""
-        return self.arrivals.exhausted and len(self.pool) == 0
+        if not self.arrivals.exhausted or len(self.pool) != 0:
+            return False
+        return self._faults is None or not self._faults.held
 
     def _budget_check(self) -> None:
         if self._slots_simulated > self.engine.config.max_slots:
@@ -611,6 +730,20 @@ class _PolicyLane:
         pool = self.pool
         self._slots_simulated += 1
         self._budget_check()
+        faults = self._faults
+        if faults is not None:
+            if faults.cursor < len(faults.events) and faults.events[faults.cursor].slot <= slot:
+                self._apply_fault_events(slot)
+            if (
+                faults.held
+                and self.arrivals.exhausted
+                and len(pool) == 0
+                and faults.cursor >= len(faults.events)
+            ):
+                raise SimulationError(
+                    f"policy {self.policy.name!r}: {len(faults.held)} chunks stranded "
+                    "on failed hardware with no recovery event scheduled"
+                )
         slot_trace = SlotTrace(slot=slot) if self._want_events else None
         obs_on = self._obs_on
         spans = self._spans
@@ -621,7 +754,14 @@ class _PolicyLane:
         # 1. Pull and dispatch this slot's arrival batch, in input order.
         for packet in self.arrivals.pop(slot):
             assignment = engine._dispatch_packet(
-                self.policy, packet, pool, slot, self.recorder, slot_trace, self.backend
+                self.policy,
+                packet,
+                pool,
+                slot,
+                self.recorder,
+                slot_trace,
+                self.backend,
+                self._topology,
             )
             if obs_on:
                 self._m_arrived += 1
@@ -642,7 +782,7 @@ class _PolicyLane:
             phase_start = now
 
         # 2. Ask the scheduler for this slot's matching and transmit it.
-        matching = self.policy.scheduler.select_matching(pool, engine.topology, slot)
+        matching = self.policy.scheduler.select_matching(pool, self._topology, slot)
         if sampled:
             spans.add("scheduler", time.perf_counter() - phase_start)
         if config.validate_matchings:
@@ -662,10 +802,32 @@ class _PolicyLane:
         timings = self._timings
         time_transmit = timings is not None or sampled
         transmit_start = time.perf_counter() if time_transmit else 0.0
+        degraded = faults is not None and faults.state.any_degraded
         if self.backend is not None:
+            speeds: Optional[List[float]] = None
+            if degraded:
+                rates = faults.state.degraded
+                speed = config.speed
+                speeds = [
+                    speed if chunk.edge not in rates else speed * rates[chunk.edge]
+                    for chunk in matching
+                ]
             self.backend.transmit_slot(
-                matching, pool, slot, config.speed, self.recorder, slot_trace
+                matching, pool, slot, config.speed, self.recorder, slot_trace, speeds
             )
+        elif degraded:
+            rates = faults.state.degraded
+            speed = config.speed
+            for chunk in matching:
+                rate = rates.get(chunk.edge)
+                engine._transmit_on_edge(
+                    chunk,
+                    pool,
+                    slot,
+                    self.recorder,
+                    slot_trace,
+                    budget=speed if rate is None else speed * rate,
+                )
         else:
             for chunk in matching:
                 engine._transmit_on_edge(chunk, pool, slot, self.recorder, slot_trace)
@@ -696,12 +858,23 @@ class _PolicyLane:
         if config.slot_skipping:
             if len(pool) == 0:
                 target = next_arrival
+                if target is None and faults is not None and faults.held:
+                    # Everything pending sits in the held list: nothing can
+                    # happen before the next fault event (a recovery, if one
+                    # is scheduled, re-admits the held chunks).
+                    target = faults.next_event_slot()
             elif not pool.has_eligible(slot):
                 next_activation = pool.next_activation_time()
                 if next_arrival is None:
                     target = next_activation
                 elif next_activation is not None:
                     target = min(next_arrival, next_activation)
+        if faults is not None and target is not None:
+            # Never skip over a fault event: eviction and candidate masking
+            # must take effect at exactly the scheduled slot.
+            next_event = faults.next_event_slot()
+            if next_event is not None and next_event < target:
+                target = next_event
         if target is not None and target > slot:
             skipped = target - slot
             self._slots_simulated += skipped
@@ -725,6 +898,110 @@ class _PolicyLane:
             slot = target
         self.slot = slot
 
+    # ------------------------------------------------------------------ #
+    # fault handling (cold path: runs only at scheduled event slots)
+    # ------------------------------------------------------------------ #
+    def _apply_fault_events(self, slot: int) -> None:
+        """Apply every fault event due at or before ``slot``, in schedule order.
+
+        Each event updates the fabric state first, then its structural
+        consequence runs immediately: fails evict the target's stranded
+        chunks (in the pool's deterministic priority order), recoveries
+        re-scan the held list in eviction order.  Same-slot sequences
+        therefore apply exactly as written.
+        """
+        faults = self._faults
+        events = faults.events
+        topology = self.engine.topology
+        while faults.cursor < len(events) and events[faults.cursor].slot <= slot:
+            event = events[faults.cursor]
+            faults.cursor += 1
+            faults.state.apply(event, topology)
+            faults.events_applied += 1
+            if event.action == "fail":
+                self._evict_stranded(event, slot)
+            elif event.action == "recover":
+                faults.recoveries += 1
+                self._readmit_held()
+
+    def _evict_stranded(self, event: FaultEvent, slot: int) -> None:
+        """Remove every pending chunk stranded by ``event`` from the pool."""
+        pool = self.pool
+        if event.kind == "laser":
+            stranded = pool.chunks_at_transmitter(event.target)
+        elif event.kind == "photodetector":
+            stranded = pool.chunks_at_receiver(event.target)
+        else:
+            stranded = pool.chunks_on_edge(*event.target)
+        if not stranded:
+            return
+        faults = self._faults
+        for chunk in stranded:
+            pool.remove(chunk)
+        if self.backend is not None:
+            self.backend.remove_chunks(stranded)
+        on_fail = self.engine.config.on_fail
+        if on_fail == "requeue":
+            faults.held.extend(stranded)
+            faults.requeued += len(stranded)
+        elif on_fail == "drop":
+            for chunk in stranded:
+                self.recorder.on_chunk_dropped(chunk)
+            faults.dropped += len(stranded)
+        else:  # redispatch
+            self._redispatch(stranded, slot)
+
+    def _redispatch(self, stranded: List[Chunk], slot: int) -> None:
+        """Move evicted chunks to the live candidate edge of minimum delay.
+
+        The chunk keeps its original split granularity (size and weight from
+        the edge it was dispatched to) and partial ``remaining_work``, but
+        re-pays the new transmitter's head delay from the current slot.
+        Chunks with no live candidate fall back to the held list.
+        """
+        faults = self._faults
+        pool = self.pool
+        backend = self.backend
+        topology = self.engine.topology
+        for chunk in stranded:
+            packet = chunk.packet
+            candidates = faults.view.candidate_edges(packet.source, packet.destination)
+            if not candidates:
+                faults.held.append(chunk)
+                faults.requeued += 1
+                continue
+            edge = min(candidates, key=lambda e: (topology.edge_delay(*e), e))
+            chunk.transmitter, chunk.receiver = edge
+            chunk.tail_delay = topology.tail_delay(edge[1])
+            chunk.eligible_time = slot + topology.head_delay(edge[0])
+            pool.add(chunk)
+            if backend is not None:
+                backend.add_chunks((chunk,))
+            faults.redispatched += 1
+
+    def _readmit_held(self) -> None:
+        """Re-admit held chunks whose hardware recovered, in eviction order.
+
+        Re-admitted chunks keep their original ``eligible_time`` (no head
+        delay is re-paid: the chunk already traversed the source→laser hop)
+        and partial ``remaining_work``.
+        """
+        faults = self._faults
+        if not faults.held:
+            return
+        state = faults.state
+        pool = self.pool
+        backend = self.backend
+        still_held: List[Chunk] = []
+        for chunk in faults.held:
+            if state.edge_alive(chunk.transmitter, chunk.receiver):
+                pool.add(chunk)
+                if backend is not None:
+                    backend.add_chunks((chunk,))
+            else:
+                still_held.append(chunk)
+        faults.held[:] = still_held
+
     def publish_metrics(self, label: Optional[str] = None) -> None:
         """Fold this lane's counters into the engine's metrics registry.
 
@@ -741,7 +1018,9 @@ class _PolicyLane:
         metrics.counter("engine_packets_arrived", policy=name).inc(self._m_arrived)
         metrics.counter("engine_packets_fixed_link", policy=name).inc(self._m_fixed)
         metrics.counter("engine_packets_delivered", policy=name).inc(
-            self._m_arrived - self.recorder.in_flight_packets()
+            self._m_arrived
+            - self.recorder.in_flight_packets()
+            - self.recorder.dropped_packets()
         )
         metrics.counter("engine_chunks_dispatched", policy=name).inc(
             self._m_chunks_dispatched
@@ -791,6 +1070,18 @@ class _PolicyLane:
             metrics.counter("vector_scalar_slots", policy=name).inc(
                 backend_stats["scalar_slots"]
             )
+        faults = self._faults
+        if faults is not None:
+            metrics.counter("engine_fault_events", policy=name).inc(faults.events_applied)
+            metrics.counter("engine_fault_recoveries", policy=name).inc(faults.recoveries)
+            metrics.counter("engine_chunks_requeued", policy=name).inc(faults.requeued)
+            metrics.counter("engine_chunks_dropped", policy=name).inc(faults.dropped)
+            metrics.counter("engine_chunks_redispatched", policy=name).inc(
+                faults.redispatched
+            )
+            metrics.counter("engine_packets_dropped", policy=name).inc(
+                self.recorder.dropped_packets()
+            )
 
 
 class SimulationEngine:
@@ -834,6 +1125,8 @@ class SimulationEngine:
             obs=base.obs,
             metrics_path=base.metrics_path,
             span_stride=base.span_stride,
+            faults=base.faults,
+            on_fail=base.on_fail,
         )
         #: The metrics registry every lane of this engine records into: the
         #: configured one, a private one when only ``metrics_path`` is set,
@@ -1080,10 +1373,16 @@ class SimulationEngine:
         recorder: _Recorder,
         slot_trace: Optional[SlotTrace],
         backend: Optional[VectorTransmitBackend] = None,
+        topology: Optional[object] = None,
     ):
-        assignment = policy.dispatcher.dispatch(packet, self.topology, pool, slot)
+        # Lanes with an active fault schedule pass their FaultTopologyView
+        # here, so the dispatcher only ever sees live candidate edges (and a
+        # dispatcher ignoring the mask is caught by the has_edge check).
+        if topology is None:
+            topology = self.topology
+        assignment = policy.dispatcher.dispatch(packet, topology, pool, slot)
         if isinstance(assignment, EdgeAssignment):
-            if not self.topology.has_edge(assignment.transmitter, assignment.receiver):
+            if not topology.has_edge(assignment.transmitter, assignment.receiver):
                 raise SimulationError(
                     f"dispatcher assigned packet {packet.packet_id} to non-existent edge "
                     f"{assignment.edge}"
@@ -1136,9 +1435,11 @@ class SimulationEngine:
         slot: int,
         recorder: _Recorder,
         slot_trace: Optional[SlotTrace],
+        budget: Optional[float] = None,
     ) -> None:
-        """Transmit up to ``speed`` chunk-units of work on ``head_chunk``'s edge."""
-        budget = self.config.speed
+        """Transmit up to ``budget`` (default ``speed``) chunk-units on ``head_chunk``'s edge."""
+        if budget is None:
+            budget = self.config.speed
         edge = head_chunk.edge
         queue = [head_chunk] + [
             c
@@ -1194,6 +1495,8 @@ def simulate(
     obs: Optional[MetricsRegistry] = None,
     metrics_path: Optional[str] = None,
     span_stride: int = 0,
+    faults: Optional[FaultSchedule] = None,
+    on_fail: str = "requeue",
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`.
 
@@ -1219,6 +1522,8 @@ def simulate(
             obs=obs,
             metrics_path=metrics_path,
             span_stride=span_stride,
+            faults=faults,
+            on_fail=on_fail,
         ),
     )
     return runner.run(packets)
@@ -1235,6 +1540,8 @@ def simulate_multi(
     obs: Optional[MetricsRegistry] = None,
     metrics_path: Optional[str] = None,
     span_stride: int = 0,
+    faults: Optional[FaultSchedule] = None,
+    on_fail: str = "requeue",
 ) -> Dict[str, SimulationResult]:
     """One-call wrapper around :meth:`SimulationEngine.run_multi`.
 
@@ -1269,6 +1576,8 @@ def simulate_multi(
             obs=obs,
             metrics_path=metrics_path,
             span_stride=span_stride,
+            faults=faults,
+            on_fail=on_fail,
         ),
     )
     return runner.run_multi(packets, policies)

@@ -182,11 +182,16 @@ class SlotTraceWriter:
         self.slots_written = 0
 
     def write(self, slot_trace: SlotTrace) -> None:
-        """Append one slot trace as a JSON line."""
+        """Append one slot trace as a flushed JSON line.
+
+        Flushing per slot means a crashed run leaves a readable trace of
+        every completed slot behind, at worst with a torn final line.
+        """
         if self._handle is None:
             raise ValueError(f"trace writer for {self.path} is already closed")
         json.dump(slot_trace.to_dict(), self._handle, separators=(",", ":"))
         self._handle.write("\n")
+        self._handle.flush()
         self.slots_written += 1
 
     def close(self) -> None:

@@ -39,7 +39,7 @@ win on tiny matchings); both paths produce identical bits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -155,6 +155,16 @@ class VectorTransmitBackend:
         self._chunks[row] = None
         self._free.append(row)
 
+    def remove_chunks(self, chunks: Sequence[Chunk]) -> None:
+        """Unregister chunks evicted from the pool (fault eviction path).
+
+        Released rows keep stale array values; that is harmless because a
+        later :meth:`add_chunks` (requeue/redispatch after recovery) writes
+        fresh state into a fresh row.
+        """
+        for chunk in chunks:
+            self._release(chunk, self._row_of[chunk])
+
     # ------------------------------------------------------------------ #
     # the per-slot transmission step
     # ------------------------------------------------------------------ #
@@ -166,6 +176,7 @@ class VectorTransmitBackend:
         speed: float,
         recorder,
         slot_trace: Optional[SlotTrace],
+        speeds: Optional[Sequence[float]] = None,
     ) -> None:
         """Transmit one slot's matching (chunks on node-disjoint edges).
 
@@ -173,24 +184,33 @@ class VectorTransmitBackend:
         batched apply safe: no row can receive work twice in one slot, so
         gathering every (row, amount) pair before any state change reads
         only pre-slot values, exactly like the reference per-edge snapshots.
+
+        ``speeds``, when given, overrides the per-edge budget per matched
+        head (same order as ``matching``) — the degraded-rate fault path.
+        ``np.minimum`` against the per-head budget array is bit-identical to
+        the reference's per-edge ``min(budget, remaining)``.
         """
         count = len(matching)
         if count == 0:
             return
         if count < self._min_batch:
             self._scalar_slots += 1
-            self._transmit_scalar(matching, pool, slot, speed, recorder, slot_trace)
+            self._transmit_scalar(matching, pool, slot, speed, recorder, slot_trace, speeds)
             return
         row_of = self._row_of
         head_rows = np.fromiter(
             (row_of[chunk] for chunk in matching), dtype=np.intp, count=count
         )
-        amounts = np.minimum(speed, self._remaining[head_rows])
-        if ((speed - amounts) > _WORK_EPSILON).any():
+        if speeds is None:
+            budgets: Union[float, np.ndarray] = speed
+        else:
+            budgets = np.fromiter(speeds, dtype=np.float64, count=count)
+        amounts = np.minimum(budgets, self._remaining[head_rows])
+        if ((budgets - amounts) > _WORK_EPSILON).any():
             # Some edge has leftover budget: re-gather with the faithful
             # per-edge spill walk so consumption order matches the reference.
             self._spill_slots += 1
-            rows_list, amounts_list = self._gather_spill(matching, pool, slot, speed)
+            rows_list, amounts_list = self._gather_spill(matching, pool, slot, speed, speeds)
             head_rows = np.fromiter(rows_list, dtype=np.intp, count=len(rows_list))
             amounts = np.fromiter(
                 amounts_list, dtype=np.float64, count=len(amounts_list)
@@ -205,6 +225,7 @@ class VectorTransmitBackend:
         pool: PendingChunkPool,
         slot: int,
         speed: float,
+        speeds: Optional[Sequence[float]] = None,
     ) -> Tuple[List[int], List[float]]:
         """The reference budget walk, recording (row, amount) pairs only.
 
@@ -215,8 +236,8 @@ class VectorTransmitBackend:
         rows: List[int] = []
         amounts: List[float] = []
         row_of = self._row_of
-        for head in matching:
-            budget = speed
+        for index, head in enumerate(matching):
+            budget = speed if speeds is None else speeds[index]
             amount = min(budget, head.remaining_work)
             if amount > 0:
                 budget -= amount
@@ -299,10 +320,11 @@ class VectorTransmitBackend:
         speed: float,
         recorder,
         slot_trace: Optional[SlotTrace],
+        speeds: Optional[Sequence[float]] = None,
     ) -> None:
         """Small-batch path: the reference loop minus the queue snapshot."""
-        for head in matching:
-            budget = speed
+        for index, head in enumerate(matching):
+            budget = speed if speeds is None else speeds[index]
             amount = min(budget, head.remaining_work)
             if amount > 0:
                 budget = self._transmit_one(

@@ -11,27 +11,39 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Iterator, Tuple, Type, Union
+from typing import Any, Iterator, Optional, Tuple, Type, Union
 
 __all__ = ["iter_json_lines"]
 
 
 def iter_json_lines(
-    path: Union[str, Path], error_cls: Type[Exception]
+    path: Union[str, Path],
+    error_cls: Type[Exception],
+    tolerate_torn_tail: bool = False,
 ) -> Iterator[Tuple[int, Any]]:
     """Lazily yield ``(line_number, parsed_object)`` per non-blank JSONL line.
 
-    Malformed lines raise ``error_cls`` with the path and line number.
+    Malformed lines raise ``error_cls`` with the path and line number.  With
+    ``tolerate_torn_tail=True`` a malformed *final* line is silently dropped
+    instead — the signature of a writer killed mid-append — while malformed
+    lines anywhere else still raise (that is corruption, not a tear).
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
+        pending_error: Optional[Exception] = None
         for line_number, line in enumerate(handle, start=1):
             if not line.strip():
                 continue
+            if pending_error is not None:
+                # The malformed line was followed by more data: real corruption.
+                raise pending_error
             try:
                 parsed = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise error_cls(
-                    f"invalid JSONL row at {path}:{line_number}: {exc}"
-                ) from exc
+                error = error_cls(f"invalid JSONL row at {path}:{line_number}: {exc}")
+                error.__cause__ = exc
+                if tolerate_torn_tail:
+                    pending_error = error
+                    continue
+                raise error
             yield line_number, parsed

@@ -264,3 +264,108 @@ class TestEligibilityPartition:
         assert pool.next_activation_time() is None
         assert pool.eligible_chunks(99) == []
         assert list(pool.iter_eligible_fifo(99)) == []
+
+
+class TestFaultEvictionCornerCases:
+    """Evict/re-admit cycles the fault layer performs on edge failures.
+
+    When a laser, photodetector or edge fails, the engine removes every
+    stranded chunk from the pool (possibly mid-transmission) and re-adds the
+    survivors when the hardware recovers — at a later slot, so the re-added
+    chunk's ``eligible_time`` usually lies *below* the watermark.  These
+    tests pin the pool invariants that cycle leans on.
+    """
+
+    def test_mid_transmission_eviction_accounts_partial_work(self):
+        pool = PendingChunkPool()
+        chunk = make_chunks(0, 1.0)[0]
+        other = make_chunks(1, 1.0, edge=("t2", "r2"))[0]
+        pool.add(chunk)
+        pool.add(other)
+        # engine transmits 0.6 of the chunk, then the edge fails mid-flight
+        chunk.remaining_work = 0.4
+        pool.debit_work(0.6)
+        assert pool.total_pending_work() == pytest.approx(1.4)
+        pool.remove(chunk)  # eviction debits exactly the *remaining* work
+        assert pool.total_pending_work() == pytest.approx(1.0)
+        assert pool.chunks_on_edge("t1", "r1") == []
+        assert pool.busy_transmitters() == {"t2"}
+
+    def test_evicted_partial_chunk_readmits_cleanly(self):
+        pool = PendingChunkPool()
+        chunk = make_chunks(0, 1.0)[0]
+        pool.add(chunk)
+        chunk.remaining_work = 0.25
+        pool.debit_work(0.75)
+        pool.remove(chunk)
+        assert pool.is_empty()
+        pool.add(chunk)  # recovery re-admits the half-sent chunk
+        assert pool.total_pending_work() == pytest.approx(0.25)
+        assert pool.chunks_on_edge("t1", "r1") == [chunk]
+        assert pool.eligible_chunks(now=5) == [chunk]
+
+    def test_readmission_below_watermark_after_recovery(self):
+        # Failure at slot 2, recovery at slot 9: the watermark has moved far
+        # past the chunk's eligible_time by the time it is re-added, and it
+        # must be eligible again *immediately* — a requeued chunk never waits
+        # out its head delay twice.
+        pool = PendingChunkPool()
+        chunk = delayed_chunk(0, 1.0, head_delay=1)  # eligible at 2
+        pool.add(chunk)
+        assert pool.eligible_chunks(now=2) == [chunk]
+        pool.remove(chunk)  # laser fails at slot 2
+        pool.advance_eligibility(9)  # simulation keeps running without it
+        pool.add(chunk)  # laser recovers at slot 9
+        assert pool.eligible_chunks(now=9) == [chunk]
+        # non-monotone queries still filter exactly against eligible_time
+        assert pool.eligible_chunks(now=1) == []
+        assert pool.next_activation_time() is None
+
+    def test_eviction_from_future_bucket_then_requeue(self):
+        # The failure can land while the chunk is still waiting out its head
+        # delay (future partition).  Eviction must empty its activation
+        # bucket; re-admission later must not trip over the stale heap entry.
+        pool = PendingChunkPool()
+        waiting = delayed_chunk(0, 2.0, head_delay=6)  # eligible at 7
+        bystander = delayed_chunk(1, 1.0, edge=("t2", "r2"), head_delay=9)
+        pool.add_all([waiting, bystander])
+        pool.advance_eligibility(2)
+        pool.remove(waiting)  # fails at slot 2, long before activating
+        assert pool.next_activation_time() == 10  # bucket at 7 is gone
+        pool.advance_eligibility(8)
+        pool.add(waiting)  # recovers at slot 8 — now below the watermark
+        assert pool.eligible_chunks(now=8) == [waiting]
+        assert list(pool.iter_eligible(7)) == [waiting]
+        assert pool.next_activation_time() == 10
+
+    def test_requeue_preserves_fifo_order(self):
+        # A chunk that is evicted and re-admitted keeps its place in the
+        # FIFO view: arrival order, not re-admission order, drives FIFO
+        # scheduling, so a fault cannot reorder equal-priority service.
+        pool = PendingChunkPool()
+        first = delayed_chunk(0, 1.0, edge=("t1", "r1"), arrival=1)
+        second = delayed_chunk(1, 1.0, edge=("t2", "r2"), arrival=2)
+        third = delayed_chunk(2, 1.0, edge=("t3", "r3"), arrival=3)
+        pool.add_all([first, second, third])
+        assert list(pool.iter_eligible_fifo(4)) == [first, second, third]
+        pool.remove(first)  # first's edge fails ...
+        pool.advance_eligibility(6)
+        pool.add(first)  # ... and recovers: still served first
+        assert list(pool.iter_eligible_fifo(6)) == [first, second, third]
+
+    def test_eviction_order_is_priority_order(self):
+        # The engine evicts stranded chunks in chunks_on_edge order and
+        # re-admits in that same order; the pool must present them by
+        # decreasing weight regardless of insertion order.
+        pool = PendingChunkPool()
+        light = make_chunks(0, 1.0)[0]
+        heavy = make_chunks(1, 8.0)[0]
+        middle = make_chunks(2, 4.0)[0]
+        pool.add_all([light, heavy, middle])
+        stranded = pool.chunks_on_edge("t1", "r1")
+        assert stranded == [heavy, middle, light]
+        for chunk in stranded:
+            pool.remove(chunk)
+        assert pool.is_empty()
+        pool.add_all(stranded)  # recovery replays the eviction list
+        assert pool.chunks_on_edge("t1", "r1") == [heavy, middle, light]

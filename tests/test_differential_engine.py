@@ -520,3 +520,120 @@ def test_observability_never_perturbs_results(
                 if key.startswith("engine_packets_arrived{")
             ]
             assert arrived == [len(packets)]
+
+
+# ---------------------------------------------------------------------- #
+# fault injection: every engine backend must degrade identically
+# ---------------------------------------------------------------------- #
+# Only hybrid cells (uniform fixed links) are fault-safe under *arbitrary*
+# schedules: even if every reconfigurable edge of a pair goes dark, the
+# dispatcher still has a fixed-link route, so no schedule can make a packet
+# unroutable.
+_FAULT_CELLS = [
+    (scenario, seed)
+    for scenario, seed in _CELLS
+    if scenario.topology.fixed_link_delay is not None
+]
+_FAULT_CELL_IDS = [f"{scenario.name}-s{seed}" for scenario, seed in _FAULT_CELLS]
+
+
+def _fault_schedule_for(topology, seed: int):
+    """A deterministic generated schedule plus handcrafted degrade events."""
+    from repro.faults import FaultEvent, FaultSchedule, seeded_fault_schedule
+
+    generated = seeded_fault_schedule(
+        topology, seed=seed * 31 + 7, num_faults=4, horizon=48
+    )
+    # Always exercise the degraded-rate transmission path too: degrade the
+    # first two reconfigurable edges for a window mid-run.
+    edges = sorted(topology.reconfigurable_edges)[:2]
+    extra = []
+    for offset, edge in enumerate(edges):
+        extra.append(FaultEvent(slot=2 + offset, action="degrade",
+                                kind="edge", target=edge, rate=0.5))
+        extra.append(FaultEvent(slot=20 + offset, action="recover",
+                                kind="edge", target=edge))
+    return FaultSchedule.from_events(list(generated.events) + extra)
+
+
+@pytest.mark.parametrize("on_fail", ("requeue", "drop", "redispatch"))
+@pytest.mark.parametrize("scenario,seed", _FAULT_CELLS, ids=_FAULT_CELL_IDS)
+def test_engines_bit_identical_under_faults(
+    scenario: Scenario, seed: int, on_fail: str
+) -> None:
+    """Fault schedules degrade every backend identically, slot for slot.
+
+    Each fault-safe differential cell is replayed under a schedule mixing
+    generated fail/recover events with handcrafted degraded-rate windows,
+    for every stranded-chunk policy.  The indexed, reference and vectorized
+    engines — and both retentions — must agree on every summary number, and
+    the full-retention runs must also produce bit-identical slot traces.
+    """
+    topology, stream, policies = scenario.materialise(seed)
+    packets = list(stream)
+    faults = _fault_schedule_for(topology, seed)
+    for name, policy in policies.items():
+        summaries: Dict[str, Dict[str, float]] = {}
+        traces: Dict[str, list] = {}
+        for engine_mode in ("indexed", "reference", "vectorized"):
+            for retention in ("full", "aggregate"):
+                result = simulate(
+                    topology, policy, packets, speed=scenario.speed,
+                    engine=engine_mode, retention=retention,
+                    record_trace=(retention == "full"),
+                    faults=faults, on_fail=on_fail,
+                )
+                summaries[f"{engine_mode}/{retention}"] = result.summary()
+                if retention == "full":
+                    traces[engine_mode] = result.trace.slots
+        baseline = summaries["indexed/full"]
+        for label, summary in summaries.items():
+            assert summary == baseline, (
+                f"{scenario.name}/{name} [{label}, on_fail={on_fail}]: "
+                f"summary diverged under faults\nindexed/full: {baseline}\n"
+                f"{label}: {summary}"
+            )
+        for engine_mode in ("reference", "vectorized"):
+            assert traces[engine_mode] == traces["indexed"], (
+                f"{scenario.name}/{name} [{engine_mode}, on_fail={on_fail}]: "
+                f"slot traces diverged under faults"
+            )
+
+
+@pytest.mark.parametrize("scenario,seed", _FAULT_CELLS, ids=_FAULT_CELL_IDS)
+def test_run_multi_matches_simulate_under_faults(
+    scenario: Scenario, seed: int
+) -> None:
+    """Shared-dispatch lanes stay sound when the fabric degrades.
+
+    The shared-dispatch memo assumes every lane sees the same fault state at
+    every slot; validation mode re-dispatches each memo hit against the
+    lane's own (fault-masked) topology view and raises on any divergence.
+    """
+    from repro.simulation import simulate_multi
+
+    topology, stream, policies = scenario.materialise(seed)
+    packets = list(stream)
+    faults = _fault_schedule_for(topology, seed)
+    solo = {
+        name: simulate(
+            topology, policy, packets, speed=scenario.speed,
+            faults=faults, on_fail="requeue",
+        ).summary()
+        for name, policy in policies.items()
+    }
+    for engine_mode in ("indexed", "reference", "vectorized"):
+        engine = SimulationEngine(
+            topology,
+            config=EngineConfig(
+                speed=scenario.speed, engine=engine_mode,
+                faults=faults, on_fail="requeue",
+                validate_shared_dispatch=True,
+            ),
+        )
+        multi = engine.run_multi(iter(packets), policies)
+        for name in policies:
+            assert multi[name].summary() == solo[name], (
+                f"{scenario.name}/{name} [{engine_mode}]: run_multi diverged "
+                f"from simulate under faults"
+            )

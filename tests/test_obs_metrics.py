@@ -254,7 +254,12 @@ class TestMetricsWriter:
 
     def test_malformed_file_rejected(self, tmp_path):
         path = tmp_path / "m.jsonl"
+        # Malformed *final* lines are the tear a killed writer leaves behind
+        # and are dropped; malformed lines followed by more data are real
+        # corruption and still fail with a positioned error.
         path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        assert read_metric_records(path) == [{"ok": 1}]
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n', encoding="utf-8")
         with pytest.raises(ObservabilityError, match=":2"):
             read_metric_records(path)
         path.write_text('[1, 2]\n', encoding="utf-8")

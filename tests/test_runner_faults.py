@@ -1,0 +1,322 @@
+"""Fault-tolerance tests for :class:`repro.experiments.runner.ExperimentRunner`.
+
+Covers the retry/re-seed state machine (serial and parallel), per-task
+timeouts, worker-crash recovery, the ``on_error="skip"`` policy, and JSONL
+checkpoint/resume.  All task functions are module-level so they survive
+pickling into worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    RunnerConfig,
+)
+from repro.obs import read_metric_records
+
+
+# ---------------------------------------------------------------------- #
+# module-level task functions (picklable)
+# ---------------------------------------------------------------------- #
+def _ok_task(task):
+    return {"index": task.index, "seed": task.seed, "x": task.params["x"]}
+
+
+def _flaky_task(task):
+    """Fails while running under its original seed; succeeds once re-seeded.
+
+    The spec puts each task's first-attempt seed into its own params, so the
+    failure condition is deterministic and needs no shared state — exactly the
+    situation the runner's fresh-retry-seed policy is designed for.
+    """
+    if task.seed == task.params["original_seed"]:
+        raise RuntimeError("transient failure under original seed")
+    return {"index": task.index, "seed": task.seed}
+
+
+def _always_failing_task(task):
+    raise RuntimeError("permanent failure")
+
+
+def _sleepy_task(task):
+    if task.index == task.params.get("slow_index"):
+        time.sleep(task.params["sleep"])
+    return {"index": task.index, "seed": task.seed}
+
+
+def _crash_once_task(task):
+    """SIGKILL the worker on the first attempt, succeed on the second.
+
+    A marker file records that the crash already happened, so the retry (which
+    the runner performs with the *original* seed — the task never observed its
+    own failure) completes normally.
+    """
+    marker = Path(task.params["marker"])
+    if not marker.exists():
+        marker.write_text("crashed", encoding="utf-8")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"index": task.index, "seed": task.seed}
+
+
+def _always_crashing_task(task):
+    if task.index == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"index": task.index, "seed": task.seed}
+
+
+def _counting_task(task):
+    """Appends one line per execution so tests can count real evaluations."""
+    with open(task.params["ledger"], "a", encoding="utf-8") as handle:
+        handle.write(f"{task.index}\n")
+        handle.flush()
+    return {"index": task.index, "seed": task.seed, "x": task.params["x"]}
+
+
+def _spec(task_fn, grid, seed=7, name="faulty"):
+    return ExperimentSpec(name=name, task_fn=task_fn, grid=grid, seed=seed)
+
+
+def _flaky_spec(num_tasks=3, seed=7):
+    base = ExperimentSpec(name="flaky", task_fn=_flaky_task,
+                          grid=[{} for _ in range(num_tasks)], seed=seed)
+    grid = [{"original_seed": task.seed} for task in base.tasks()]
+    return ExperimentSpec(name="flaky", task_fn=_flaky_task, grid=grid, seed=seed)
+
+
+# ---------------------------------------------------------------------- #
+# retries and re-seeding
+# ---------------------------------------------------------------------- #
+class TestRetries:
+    def test_serial_retry_uses_fresh_deterministic_seed(self):
+        spec = _flaky_spec()
+        with pytest.raises(ExperimentError, match="transient"):
+            ExperimentRunner(RunnerConfig(jobs=1)).run(spec)
+        rows = ExperimentRunner(
+            RunnerConfig(jobs=1, retries=1, retry_backoff=0.0)
+        ).run(spec)
+        assert [row["index"] for row in rows] == [0, 1, 2]
+        assert [row["seed"] for row in rows] == [
+            spec.retry_seed(index, 1) for index in range(3)
+        ]
+
+    def test_parallel_retry_matches_serial(self):
+        spec = _flaky_spec()
+        serial = ExperimentRunner(
+            RunnerConfig(jobs=1, retries=2, retry_backoff=0.0)
+        ).run(spec)
+        parallel = ExperimentRunner(
+            RunnerConfig(jobs=2, retries=2, retry_backoff=0.0)
+        ).run(spec)
+        assert serial == parallel
+
+    def test_skip_records_failed_task_and_continues(self):
+        grid = [{"x": x} for x in range(3)]
+        spec = ExperimentSpec(
+            name="mixed",
+            task_fn=_always_failing_task,
+            grid=grid,
+            seed=1,
+        )
+        rows = ExperimentRunner(
+            RunnerConfig(jobs=1, retries=1, retry_backoff=0.0, on_error="skip")
+        ).run(spec)
+        assert rows == []  # every task failed, zero rows, but no exception
+
+    def test_raise_mode_propagates_after_retries(self):
+        spec = _spec(_always_failing_task, [{"x": 0}])
+        with pytest.raises(ExperimentError, match="permanent failure"):
+            ExperimentRunner(
+                RunnerConfig(jobs=1, retries=2, retry_backoff=0.0)
+            ).run(spec)
+
+    def test_backoff_is_exponential(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        spec = _spec(_always_failing_task, [{"x": 0}])
+        runner = ExperimentRunner(
+            RunnerConfig(jobs=1, retries=3, retry_backoff=0.1, on_error="skip")
+        )
+        runner.run(spec)
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+
+# ---------------------------------------------------------------------- #
+# timeouts and worker crashes (jobs > 1)
+# ---------------------------------------------------------------------- #
+class TestPoolFaults:
+    def test_timeout_fails_only_the_slow_task(self):
+        grid = [{"slow_index": 0, "sleep": 30.0} for _ in range(3)]
+        spec = _spec(_sleepy_task, grid, name="slow")
+        rows = ExperimentRunner(
+            RunnerConfig(jobs=2, timeout=1.0, on_error="skip")
+        ).run(spec)
+        assert [row["index"] for row in rows] == [1, 2]
+
+    def test_timeout_raise_mode_names_the_task(self):
+        grid = [{"slow_index": 0, "sleep": 30.0}]
+        spec = _spec(_sleepy_task, grid + grid[:1], name="slow")
+        with pytest.raises(ExperimentError, match="task 0 .* timed out"):
+            ExperimentRunner(RunnerConfig(jobs=2, timeout=1.0)).run(spec)
+
+    def test_crash_retry_keeps_original_seed(self, tmp_path):
+        marker = tmp_path / "crash.marker"
+        spec = _spec(_crash_once_task, [{"marker": str(marker)}] * 2,
+                     name="crashy")
+        rows = ExperimentRunner(
+            RunnerConfig(jobs=2, retries=1, retry_backoff=0.0)
+        ).run(spec)
+        # both tasks complete, and the crashed attempt was re-run with the
+        # original seed — the environment failed, not the task
+        expected = {task.index: task.seed for task in spec.tasks()}
+        assert {row["index"]: row["seed"] for row in rows} == expected
+
+    def test_poisoned_task_is_skipped_and_neighbours_survive(self):
+        spec = _spec(_always_crashing_task, [{"x": x} for x in range(4)],
+                     name="poison")
+        rows = ExperimentRunner(
+            RunnerConfig(jobs=2, retries=1, retry_backoff=0.0, on_error="skip")
+        ).run(spec)
+        # task 0 SIGKILLs every worker that picks it up; after its retries are
+        # exhausted it is dropped and the innocent tasks still produce rows
+        assert [row["index"] for row in rows] == [1, 2, 3]
+        expected = {task.index: task.seed for task in spec.tasks()}
+        assert all(row["seed"] == expected[row["index"]] for row in rows)
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint / resume
+# ---------------------------------------------------------------------- #
+class TestCheckpoint:
+    def _counting_spec(self, ledger, seed=5):
+        grid = [{"x": x, "ledger": str(ledger)} for x in range(4)]
+        return ExperimentSpec(name="ckpt", task_fn=_counting_task,
+                              grid=grid, seed=seed)
+
+    def test_resume_replays_without_reexecuting(self, tmp_path):
+        ledger = tmp_path / "ledger.txt"
+        checkpoint = tmp_path / "ckpt.jsonl"
+        spec = self._counting_spec(ledger)
+        config = RunnerConfig(jobs=1, checkpoint_path=str(checkpoint))
+        first = ExperimentRunner(config).run(spec)
+        assert len(ledger.read_text().splitlines()) == 4
+        second = ExperimentRunner(config).run(spec)
+        assert second == first  # bit-identical replay
+        assert len(ledger.read_text().splitlines()) == 4  # nothing re-ran
+
+    def test_partial_checkpoint_runs_only_missing_tasks(self, tmp_path):
+        ledger = tmp_path / "ledger.txt"
+        checkpoint = tmp_path / "ckpt.jsonl"
+        spec = self._counting_spec(ledger)
+        config = RunnerConfig(jobs=1, checkpoint_path=str(checkpoint))
+        full = ExperimentRunner(config).run(spec)
+        # keep only the first two records, as if the sweep died after task 1
+        lines = checkpoint.read_text(encoding="utf-8").splitlines(keepends=True)
+        checkpoint.write_text("".join(lines[:2]), encoding="utf-8")
+        ledger.unlink()
+        resumed = ExperimentRunner(config).run(spec)
+        assert resumed == full
+        assert sorted(ledger.read_text().split()) == ["2", "3"]
+
+    def test_torn_final_line_is_rerun(self, tmp_path):
+        ledger = tmp_path / "ledger.txt"
+        checkpoint = tmp_path / "ckpt.jsonl"
+        spec = self._counting_spec(ledger)
+        config = RunnerConfig(jobs=1, checkpoint_path=str(checkpoint))
+        full = ExperimentRunner(config).run(spec)
+        lines = checkpoint.read_text(encoding="utf-8").splitlines(keepends=True)
+        torn = "".join(lines[:2]) + lines[2][: len(lines[2]) // 2]
+        checkpoint.write_text(torn, encoding="utf-8")
+        ledger.unlink()
+        resumed = ExperimentRunner(config).run(spec)
+        assert resumed == full
+        assert sorted(ledger.read_text().split()) == ["2", "3"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        checkpoint = tmp_path / "ckpt.jsonl"
+        spec = self._counting_spec(tmp_path / "ledger.txt")
+        config = RunnerConfig(jobs=1, checkpoint_path=str(checkpoint))
+        ExperimentRunner(config).run(spec)
+        lines = checkpoint.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines[1] = "{broken json\n"
+        checkpoint.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(ExperimentError, match="corrupt checkpoint"):
+            ExperimentRunner(config).run(spec)
+
+    def test_checkpoint_from_other_seed_or_experiment_raises(self, tmp_path):
+        checkpoint = tmp_path / "ckpt.jsonl"
+        config = RunnerConfig(jobs=1, checkpoint_path=str(checkpoint))
+        ExperimentRunner(config).run(self._counting_spec(tmp_path / "a.txt", seed=5))
+        with pytest.raises(ExperimentError, match="seed mismatch"):
+            ExperimentRunner(config).run(
+                self._counting_spec(tmp_path / "b.txt", seed=6)
+            )
+        other = ExperimentSpec(
+            name="different",
+            task_fn=_counting_task,
+            grid=[{"x": 0, "ledger": str(tmp_path / "c.txt")}],
+            seed=5,
+        )
+        with pytest.raises(ExperimentError, match="belongs to experiment"):
+            ExperimentRunner(config).run(other)
+
+    def test_failed_tasks_are_not_checkpointed(self, tmp_path):
+        checkpoint = tmp_path / "ckpt.jsonl"
+        spec = _spec(_always_failing_task, [{"x": 0}, {"x": 1}], name="failing")
+        config = RunnerConfig(
+            jobs=1, on_error="skip", checkpoint_path=str(checkpoint)
+        )
+        assert ExperimentRunner(config).run(spec) == []
+        records = [json.loads(line)
+                   for line in checkpoint.read_text().splitlines() if line.strip()]
+        assert records == []  # failed outcomes must be re-attempted on resume
+
+
+# ---------------------------------------------------------------------- #
+# heartbeat stream
+# ---------------------------------------------------------------------- #
+class TestHeartbeats:
+    def test_heartbeats_carry_retries_and_status(self, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        spec = _flaky_spec(num_tasks=2)
+        ExperimentRunner(
+            RunnerConfig(jobs=1, retries=1, retry_backoff=0.0,
+                         metrics_path=str(metrics))
+        ).run(spec)
+        beats = [record for record in read_metric_records(metrics)
+                 if record.get("record") == "runner_heartbeat"]
+        assert [b["task_index"] for b in beats] == [0, 1]
+        assert all(b["retries"] == 1 and b["status"] == "ok" for b in beats)
+
+    def test_failed_and_checkpointed_statuses(self, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        checkpoint = tmp_path / "ckpt.jsonl"
+        ledger = tmp_path / "ledger.txt"
+        grid = [{"x": x, "ledger": str(ledger)} for x in range(2)]
+        spec = ExperimentSpec(name="hb", task_fn=_counting_task, grid=grid, seed=3)
+        config = RunnerConfig(jobs=1, metrics_path=str(metrics),
+                              checkpoint_path=str(checkpoint))
+        ExperimentRunner(config).run(spec)
+        ExperimentRunner(config).run(spec)  # resume: replayed from checkpoint
+        beats = [record for record in read_metric_records(metrics)
+                 if record.get("record") == "runner_heartbeat"]
+        assert [b["status"] for b in beats] == ["ok", "ok",
+                                                "checkpointed", "checkpointed"]
+
+        failing = _spec(_always_failing_task, [{"x": 0}], name="hbfail")
+        metrics2 = tmp_path / "metrics2.jsonl"
+        ExperimentRunner(
+            RunnerConfig(jobs=1, on_error="skip", metrics_path=str(metrics2))
+        ).run(failing)
+        beats2 = read_metric_records(metrics2)
+        assert [b["status"] for b in beats2] == ["failed"]
+        assert beats2[0]["rows_emitted"] == 0
